@@ -1,0 +1,140 @@
+// Demonstrates the hardware structures of dissertation Figures 4.2-4.8 and
+// 4.10-4.13 as executable models:
+//   Fig. 4.3  n-stage LFSR (maximal period check),
+//   Fig. 4.4  n-stage MISR (signature + fault sensitivity),
+//   Fig. 4.6  clock-cycle counter + test-apply strobe,
+//   Fig. 4.7/4.8  TPG biasing network (empirical probabilities),
+//   Fig. 4.10/4.11 state holding + hold-enable strobe,
+//   Fig. 4.13 set-selection decoder,
+//   Fig. 4.2/4.5 the complete on-chip session: TPG -> circuit -> MISR with
+//   circular-shift response capture, fault-free vs faulty signature.
+#include <cstdio>
+
+#include "bist/counters.hpp"
+#include "bist/functional_bist.hpp"
+#include "bist/lfsr.hpp"
+#include "bist/misr.hpp"
+#include "bist/session.hpp"
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const fbt::Cli cli(argc, argv);
+  fbt::Timer total;
+
+  std::printf("== Fig. 4.3: n-stage LFSR ==\n");
+  for (const unsigned n : {8u, 12u, 16u}) {
+    fbt::Lfsr lfsr(n);
+    lfsr.seed(1);
+    const std::uint32_t start = lfsr.state();
+    std::uint64_t period = 0;
+    do {
+      lfsr.step();
+      ++period;
+    } while (lfsr.state() != start);
+    std::printf("  %2u stages: period %llu (2^%u - 1 = %llu)\n", n,
+                static_cast<unsigned long long>(period), n,
+                static_cast<unsigned long long>((1ULL << n) - 1));
+  }
+
+  std::printf("\n== Fig. 4.6: clock cycle counter and test apply signal ==\n");
+  {
+    fbt::UpCounter counter(6);
+    std::printf("  q=1 strobe over 12 cycles: ");
+    for (int i = 0; i < 12; ++i) {
+      std::printf("%c", fbt::apply_signal(counter, 1) ? 'A' : '.');
+      counter.tick();
+    }
+    std::printf("   (a test every 2 cycles)\n");
+  }
+
+  std::printf("\n== Fig. 4.11: hold enable every 2^h cycles (h = 2) ==\n");
+  {
+    fbt::UpCounter counter(6);
+    std::printf("  strobe over 12 cycles:     ");
+    for (int i = 0; i < 12; ++i) {
+      std::printf("%c", fbt::hold_enable(counter, 2) ? 'H' : '.');
+      counter.tick();
+    }
+    std::printf("   (never on a capture transition)\n");
+  }
+
+  std::printf("\n== Fig. 4.13: set selection decoder ==\n");
+  {
+    fbt::SetDecoder dec(4);
+    for (std::size_t sel = 0; sel < 4; ++sel) {
+      std::printf("  set counter = %zu -> lines ", sel);
+      for (std::size_t line = 0; line < 4; ++line) {
+        std::printf("%c", dec.line(line, sel, true) ? '1' : '0');
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n== Fig. 4.8: TPG biasing (circuit spi) ==\n");
+  {
+    const fbt::Netlist nl = fbt::load_benchmark("spi");
+    fbt::Tpg tpg(nl, {});
+    tpg.reseed(0xbeef);
+    std::vector<std::size_t> ones(nl.num_inputs(), 0);
+    const std::size_t trials = 8000;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto v = tpg.next_vector();
+      for (std::size_t i = 0; i < v.size(); ++i) ones[i] += v[i];
+    }
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < nl.num_inputs() && shown < 6; ++i) {
+      const fbt::Val3 c = tpg.cube().values[i];
+      if (c == fbt::Val3::kX && shown > 2) continue;
+      std::printf("  input %3zu: C=%c  P(1) = %.3f\n", i,
+                  c == fbt::Val3::k0 ? '0' : (c == fbt::Val3::k1 ? '1' : 'x'),
+                  static_cast<double>(ones[i]) / trials);
+      ++shown;
+    }
+    std::printf("  shift register size: %zu bits (m*Nsp + (Npi - Nsp))\n",
+                tpg.shift_register_size());
+  }
+
+  std::printf("\n== Fig. 4.2/4.5: complete on-chip session (circuit s298) ==\n");
+  {
+    const fbt::Netlist nl = fbt::load_benchmark("s298");
+    const fbt::ScanChains scan(nl, {});
+    fbt::FunctionalBistConfig cfg;
+    cfg.segment_length = 256;
+    cfg.max_segment_failures = 2;
+    cfg.max_sequence_failures = 2;
+    cfg.bounded = false;
+    fbt::FunctionalBistGenerator gen(nl, cfg);
+    const fbt::TransitionFaultList faults =
+        fbt::TransitionFaultList::collapsed(nl);
+    std::vector<std::uint32_t> detect(faults.size(), 0);
+    const fbt::FunctionalBistResult plan = gen.run(faults, detect);
+
+    const fbt::SessionReport golden =
+        fbt::run_bist_session(nl, plan, scan, {});
+    std::printf("  tests applied: %zu, functional cycles: %zu, shift cycles: "
+                "%zu, total: %zu\n",
+                golden.tests_applied, golden.functional_cycles,
+                golden.shift_cycles, golden.total_cycles);
+    std::printf("  golden MISR signature: 0x%08x\n", golden.signature);
+
+    // Inject the first detected fault; the signature must differ.
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detect[f] == 0) continue;
+      const fbt::TransitionFault& tf = faults.fault(f);
+      const fbt::SessionReport faulty =
+          fbt::run_bist_session(nl, plan, scan, {}, tf.line, tf.rising);
+      std::printf("  with %s injected:  0x%08x  (%s)\n",
+                  fault_name(nl, tf).c_str(), faulty.signature,
+                  faulty.signature == golden.signature ? "ALIASED"
+                                                       : "flagged");
+      break;
+    }
+  }
+
+  std::printf("\n[bench_fig4_hw] done in %s\n", total.hms().c_str());
+  (void)cli;
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) for the simulation kernels that
+// dominate every experiment: bit-parallel evaluation, event-driven fault
+// propagation, scalar sequential stepping, cube simulation, and the on-chip
+// TPG. Also quantifies the bit-parallel vs scalar design decision called out
+// in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "bist/lfsr.hpp"
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "fault/fault_sim.hpp"
+#include "sim/bitsim.hpp"
+#include "sim/cubesim.hpp"
+#include "sim/seqsim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+const fbt::Netlist& circuit() {
+  static const fbt::Netlist nl = fbt::load_benchmark("s5378");
+  return nl;
+}
+
+void BM_BitSimEval64(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  fbt::BitSim sim(nl);
+  fbt::Pcg32 rng(1);
+  for (const fbt::NodeId pi : nl.inputs()) sim.set_value(pi, rng.next64());
+  for (const fbt::NodeId ff : nl.flops()) sim.set_value(ff, rng.next64());
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.value(nl.outputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // patterns per eval
+}
+BENCHMARK(BM_BitSimEval64);
+
+void BM_SeqSimStep(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  fbt::SeqSim sim(nl);
+  sim.load_reset_state();
+  std::vector<std::uint8_t> pi(nl.num_inputs(), 0);
+  fbt::Pcg32 rng(2);
+  for (auto _ : state) {
+    for (auto& b : pi) b = rng.chance(1, 2);
+    benchmark::DoNotOptimize(sim.step(pi).toggled_lines);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqSimStep);
+
+void BM_FaultPropagate(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  fbt::BitSim sim(nl);
+  fbt::Pcg32 rng(3);
+  for (const fbt::NodeId pi : nl.inputs()) sim.set_value(pi, rng.next64());
+  for (const fbt::NodeId ff : nl.flops()) sim.set_value(ff, rng.next64());
+  sim.eval();
+  for (auto _ : state) {
+    const auto site = static_cast<fbt::NodeId>(
+        rng.below(static_cast<std::uint32_t>(nl.size())));
+    benchmark::DoNotOptimize(sim.fault_propagate(site, rng.next64()));
+  }
+}
+BENCHMARK(BM_FaultPropagate);
+
+void BM_GradeRandomTests(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  const fbt::TransitionFaultList faults =
+      fbt::TransitionFaultList::collapsed(nl);
+  fbt::BroadsideFaultSim fsim(nl);
+  fbt::Pcg32 rng(4);
+  fbt::TestSet tests;
+  for (int i = 0; i < 256; ++i) {
+    fbt::BroadsideTest t;
+    for (std::size_t k = 0; k < nl.num_flops(); ++k) {
+      t.scan_state.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) {
+      t.v1.push_back(rng.chance(1, 2));
+      t.v2.push_back(rng.chance(1, 2));
+    }
+    tests.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    std::vector<std::uint32_t> detect(faults.size(), 0);
+    benchmark::DoNotOptimize(fsim.grade(tests, faults, detect, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * tests.size());
+}
+BENCHMARK(BM_GradeRandomTests);
+
+void BM_CubeSimEval(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  fbt::CubeSim sim(nl);
+  sim.clear();
+  sim.set_value(nl.inputs()[0], fbt::Val3::k1);
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.specified_next_state_count());
+  }
+}
+BENCHMARK(BM_CubeSimEval);
+
+void BM_TpgNextVector(benchmark::State& state) {
+  const fbt::Netlist& nl = circuit();
+  fbt::Tpg tpg(nl, {});
+  tpg.reseed(0x1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tpg.next_vector());
+  }
+}
+BENCHMARK(BM_TpgNextVector);
+
+void BM_LfsrStep(benchmark::State& state) {
+  fbt::Lfsr lfsr(32);
+  lfsr.seed(0xcafe);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lfsr.step());
+  }
+}
+BENCHMARK(BM_LfsrStep);
+
+}  // namespace

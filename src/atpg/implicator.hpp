@@ -1,0 +1,75 @@
+// Two-frame three-valued implication engine.
+//
+// Maintains a value per (frame, node) and propagates direct implications to a
+// fixpoint: forward gate evaluation, backward forcing (an AND output at 1
+// forces all inputs to 1; at 0 with one unresolved input forces that input to
+// 0; BUF/NOT bidirectional; XOR/XNOR resolve when one operand is missing),
+// and the broadside frame linkage value2[ff] == value1[D(ff)]. Used for the
+// necessary-assignment computations of §2.3.2 and §3.2 and as the consistency
+// oracle of the branch-and-bound procedure.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atpg/two_frame.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/value.hpp"
+
+namespace fbt {
+
+class Implicator {
+ public:
+  explicit Implicator(const Netlist& netlist);
+
+  /// Resets every value to X.
+  void clear();
+
+  Val3 value(FrameNode fn) const { return values_[index(fn)]; }
+
+  /// Asserts an assignment and propagates. Returns false on conflict (the
+  /// engine's state is then inconsistent; clear() or restore a checkpoint
+  /// before reuse).
+  bool assign(FrameNode fn, Val3 value);
+  bool assign(const Assignment& a) {
+    return assign(a.where, a.value ? Val3::k1 : Val3::k0);
+  }
+
+  /// Asserts a batch; false if any conflict arises.
+  bool assign_all(std::span<const Assignment> batch);
+
+  /// All currently specified values as assignments.
+  std::vector<Assignment> specified() const;
+
+  /// Specified values restricted to free inputs (PI1, PI2, PPI1) --
+  /// the "input necessary assignments" of §3.2 when the engine was seeded
+  /// with a fault's detection conditions.
+  std::vector<Assignment> specified_inputs() const;
+
+  /// Checkpoint/rollback for trial implications (§3.2 step 4).
+  using Checkpoint = std::size_t;
+  Checkpoint checkpoint() const { return trail_.size(); }
+  void rollback(Checkpoint mark);
+
+ private:
+  std::size_t index(FrameNode fn) const {
+    return static_cast<std::size_t>(fn.frame) * netlist_->size() + fn.node;
+  }
+  FrameNode coord(std::size_t idx) const {
+    return FrameNode{idx < netlist_->size() ? Frame::k1 : Frame::k2,
+                     static_cast<NodeId>(idx % netlist_->size())};
+  }
+
+  bool set_value(std::size_t idx, Val3 v);
+  bool propagate();
+  bool imply_gate(Frame frame, NodeId gate);
+  bool imply_linkage(NodeId flop);
+
+  const Netlist* netlist_;
+  std::vector<Val3> values_;           // 2 * size
+  std::vector<std::size_t> trail_;     // indices set, in order
+  std::vector<std::size_t> worklist_;  // indices with fresh values
+};
+
+}  // namespace fbt

@@ -1,0 +1,123 @@
+#include "atpg/necessary.hpp"
+
+#include <algorithm>
+
+namespace fbt {
+namespace {
+
+/// Seeds the implicator with every on-path transition-fault condition.
+/// Returns false on conflict.
+bool seed_path_conditions(const Netlist& netlist, const PathDelayFault& fault,
+                          Implicator& imp) {
+  for (const TransitionFault& tr : transition_faults_along(netlist, fault)) {
+    const Val3 init = tr.rising ? Val3::k0 : Val3::k1;
+    const Val3 fin = tr.rising ? Val3::k1 : Val3::k0;
+    if (!imp.assign({Frame::k1, tr.line}, init)) return false;
+    if (!imp.assign({Frame::k2, tr.line}, fin)) return false;
+  }
+  return true;
+}
+
+/// §3.2 step 3: every off-path input of every gate along the path must take
+/// its gate's non-controlling value under the second pattern.
+bool seed_propagation_conditions(const Netlist& netlist,
+                                 const PathDelayFault& fault,
+                                 Implicator& imp) {
+  const auto& nodes = fault.path.nodes;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const Gate& g = netlist.gate(nodes[i]);
+    if (!has_controlling_value(g.type)) continue;  // XOR/NOT/BUF side inputs free
+    const bool nc = !controlling_value(g.type);
+    for (const NodeId fi : g.fanins) {
+      if (fi == nodes[i - 1]) continue;  // the on-path input
+      if (!imp.assign({Frame::k2, fi}, nc ? Val3::k1 : Val3::k0)) return false;
+    }
+  }
+  return true;
+}
+
+NecessaryAnalysis finish(const Implicator& imp) {
+  NecessaryAnalysis out;
+  out.input_assignments = imp.specified_inputs();
+  out.detection_conditions = imp.specified();
+  return out;
+}
+
+NecessaryAnalysis undetectable_result() {
+  NecessaryAnalysis out;
+  out.undetectable = true;
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// §3.2 step 4 on an already-seeded implicator: probe every unspecified free
+/// input with both values; both failing proves undetectability, one failing
+/// forces the other value. Returns false on a proof of undetectability.
+bool probe_inputs(const Netlist& netlist, Implicator& imp,
+                  std::size_t probe_rounds) {
+  std::vector<FrameNode> inputs;
+  for (int f = 0; f < 2; ++f) {
+    const auto frame = static_cast<Frame>(f);
+    for (const NodeId pi : netlist.inputs()) inputs.push_back({frame, pi});
+  }
+  for (const NodeId ff : netlist.flops()) inputs.push_back({Frame::k1, ff});
+
+  for (std::size_t round = 0; round < probe_rounds; ++round) {
+    bool added = false;
+    for (const FrameNode fn : inputs) {
+      if (imp.value(fn) != Val3::kX) continue;
+      bool ok[2];
+      for (int v = 0; v <= 1; ++v) {
+        const Implicator::Checkpoint mark = imp.checkpoint();
+        ok[v] = imp.assign(fn, v ? Val3::k1 : Val3::k0);
+        imp.rollback(mark);
+      }
+      if (!ok[0] && !ok[1]) return false;
+      if (ok[0] != ok[1]) {
+        if (!imp.assign(fn, ok[1] ? Val3::k1 : Val3::k0)) return false;
+        added = true;
+      }
+    }
+    if (!added) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+NecessaryAnalysis necessary_for_path(const Netlist& netlist,
+                                     const PathDelayFault& fault,
+                                     std::size_t probe_rounds) {
+  Implicator imp(netlist);
+  if (!seed_path_conditions(netlist, fault, imp)) return undetectable_result();
+  if (probe_rounds > 0 && !probe_inputs(netlist, imp, probe_rounds)) {
+    return undetectable_result();
+  }
+  return finish(imp);
+}
+
+NecessaryAnalysis input_necessary_assignments(const Netlist& netlist,
+                                              const PathDelayFault& fault,
+                                              std::size_t probe_rounds) {
+  Implicator imp(netlist);
+  // Steps 1-2: per-fault conditions and their implications.
+  if (!seed_path_conditions(netlist, fault, imp)) return undetectable_result();
+  // Step 3: off-path propagation conditions.
+  if (!seed_propagation_conditions(netlist, fault, imp)) {
+    return undetectable_result();
+  }
+
+  // Step 4: probe every unspecified free input with both values; if both
+  // conflict the fault is undetectable, if exactly one conflicts the other
+  // value is a new input necessary assignment. Repeated until a round adds
+  // nothing (bounded by probe_rounds).
+  if (probe_rounds > 0 && !probe_inputs(netlist, imp, probe_rounds)) {
+    return undetectable_result();
+  }
+  return finish(imp);
+}
+
+}  // namespace fbt

@@ -1,0 +1,49 @@
+// Necessary assignments for transition (path delay) faults (dissertation
+// §2.3.2 and §3.2).
+//
+// A transition fault v->v' on line g must have g = v under the first pattern
+// and g = v' under the second; the direct forward/backward implications of
+// those literals are necessary assignments too. For a transition path delay
+// fault, the necessary assignments of all its transition faults are merged:
+// a conflict proves the fault undetectable without any search. The four-step
+// procedure of §3.2 additionally adds the off-path non-controlling
+// propagation conditions (step 3) and probes unspecified inputs with both
+// values (step 4) to harvest extra input necessary assignments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "atpg/implicator.hpp"
+#include "fault/fault.hpp"
+#include "paths/path.hpp"
+
+namespace fbt {
+
+struct NecessaryAnalysis {
+  bool undetectable = false;
+  /// Input necessary assignments InNecAssign(fp): specified free inputs.
+  std::vector<Assignment> input_assignments;
+  /// All implied line values DetCon(fp) (both frames).
+  std::vector<Assignment> detection_conditions;
+};
+
+/// §2.3.2: merge the necessary assignments of every transition fault along
+/// the path; undetectable on conflict. `probe_rounds` optionally adds the
+/// §3.2 step-4 both-value probing of unspecified inputs, which is sound for
+/// transition path delay faults too (it implies only from the merged
+/// per-fault conditions, never from propagation assumptions) and converts
+/// many would-be search aborts into cheap undetectability proofs.
+NecessaryAnalysis necessary_for_path(const Netlist& netlist,
+                                     const PathDelayFault& fault,
+                                     std::size_t probe_rounds = 0);
+
+/// §3.2 steps 2-4: like necessary_for_path, plus the off-path non-controlling
+/// conditions under the second pattern (step 3) and both-value probing of
+/// unspecified inputs (step 4). `probe_inputs` bounds step 4's work; 0 skips
+/// probing.
+NecessaryAnalysis input_necessary_assignments(const Netlist& netlist,
+                                              const PathDelayFault& fault,
+                                              std::size_t probe_rounds = 1);
+
+}  // namespace fbt

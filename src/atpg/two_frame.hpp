@@ -1,0 +1,45 @@
+// Two-time-frame view of a scan circuit under a broadside test.
+//
+// Frame 1 is the circuit under <s1, v1>; frame 2 under <s2, v2> with the
+// linkage s2 = next-state(frame 1): the frame-2 value of a flip-flop equals
+// the frame-1 value of its data input. Assignable inputs of the combined
+// model are the frame-1 primary inputs, the frame-2 primary inputs, and the
+// frame-1 state variables (the scan-in state s1). Frame-2 state variables are
+// NOT free (dissertation §3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Frame index of a two-frame literal.
+enum class Frame : std::uint8_t { k1 = 0, k2 = 1 };
+
+/// A (frame, node) coordinate in the two-frame model.
+struct FrameNode {
+  Frame frame = Frame::k1;
+  NodeId node = kNoNode;
+
+  bool operator==(const FrameNode&) const = default;
+};
+
+/// An assignment q[i] = a in the notation of §3.2.
+struct Assignment {
+  FrameNode where;
+  bool value = false;
+
+  bool operator==(const Assignment&) const = default;
+};
+
+/// True when `node` is a free input of the two-frame model in `frame`:
+/// primary inputs in both frames, state variables only in frame 1.
+inline bool is_free_input(const Netlist& netlist, FrameNode fn) {
+  const GateType t = netlist.type(fn.node);
+  if (t == GateType::kInput) return true;
+  if (t == GateType::kDff) return fn.frame == Frame::k1;
+  return false;
+}
+
+}  // namespace fbt

@@ -1,0 +1,54 @@
+#include "bist/aliasing.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+
+double misr_theoretical_aliasing(unsigned stages) {
+  return std::ldexp(1.0, -static_cast<int>(stages));
+}
+
+double misr_empirical_aliasing(unsigned stages, std::size_t width,
+                               std::size_t cycles, std::size_t trials,
+                               std::uint64_t seed) {
+  require(width >= 1 && cycles >= 1 && trials >= 1, "misr_empirical_aliasing",
+          "width, cycles, and trials must be positive");
+  Pcg32 rng(seed, 0x9b60933458e17d7dULL);
+
+  // Golden stream.
+  std::vector<std::vector<std::uint8_t>> golden(cycles);
+  for (auto& row : golden) {
+    row.resize(width);
+    for (auto& bit : row) bit = rng.chance(1, 2);
+  }
+  Misr gold(stages);
+  for (const auto& row : golden) gold.absorb(row);
+
+  std::size_t aliased = 0;
+  std::vector<std::uint8_t> row(width);
+  for (std::size_t t = 0; t < trials; ++t) {
+    Misr m(stages);
+    // Sparse random errors (~6% of bits flip); force one flip on the last
+    // cycle if none occurred so "no error" never counts as aliasing.
+    Pcg32 errors(seed ^ (0x1000 + t), 0x3c6ef372fe94f82bULL);
+    bool injected = false;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      for (std::size_t i = 0; i < width; ++i) {
+        const bool flip = errors.chance(1, 16);
+        injected |= flip;
+        row[i] = golden[c][i] ^ (flip ? 1 : 0);
+      }
+      if (c + 1 == cycles && !injected) row[0] ^= 1;
+      m.absorb(row);
+    }
+    if (m.signature() == gold.signature()) ++aliased;
+  }
+  return static_cast<double>(aliased) / static_cast<double>(trials);
+}
+
+}  // namespace fbt

@@ -1,0 +1,26 @@
+// MISR aliasing analysis (dissertation §4.2; classic signature analysis).
+//
+// A faulty response stream aliases when the MISR's final signature equals
+// the golden one. For an n-stage MISR with a primitive polynomial the
+// theoretical asymptotic aliasing probability over random error streams is
+// 2^-n; the Monte-Carlo estimate here validates the hardware model against
+// it (bench_fig4_hw / unit tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fbt {
+
+/// Theoretical asymptotic aliasing probability of an n-stage MISR.
+double misr_theoretical_aliasing(unsigned stages);
+
+/// Monte-Carlo estimate: `trials` random error streams of `cycles` cycles and
+/// `width` response bits each are injected on top of a random golden stream;
+/// returns the fraction whose signature matches the golden signature.
+/// Deterministic in `seed`.
+double misr_empirical_aliasing(unsigned stages, std::size_t width,
+                               std::size_t cycles, std::size_t trials,
+                               std::uint64_t seed);
+
+}  // namespace fbt

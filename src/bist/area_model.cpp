@@ -1,0 +1,98 @@
+#include "bist/area_model.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+// Cell areas in um^2, representative of a generic 0.18 um standard-cell
+// library (2-input NAND ~ 10 um^2, scan flop ~ 86 um^2).
+constexpr double kFlopArea = 64.0;
+constexpr double kScanMuxArea = 22.0;
+constexpr double kInvArea = 7.0;
+constexpr double kGate2Area = 10.0;       // 2-input NAND/NOR/AND/OR
+constexpr double kGateExtraInput = 4.0;   // per input beyond 2
+constexpr double kXor2Area = 20.0;
+constexpr double kMux2Area = 22.0;
+constexpr double kClockGateArea = 35.0;   // latch + AND (Fig. 4.10)
+constexpr double kRomBitArea = 0.7;
+constexpr double kCounterLogicPerBit = 15.0;  // incrementer + compare slice
+constexpr double kControllerArea = 4400.0;    // mode FSM + clock gating tree
+
+double gate_area(GateType type, std::size_t fanins) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0.0;
+    case GateType::kDff:
+      return kFlopArea + kScanMuxArea;  // scan flop
+    case GateType::kBuf:
+      return kInvArea;
+    case GateType::kNot:
+      return kInvArea;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return kXor2Area +
+             (fanins > 2 ? kXor2Area * static_cast<double>(fanins - 2) : 0.0);
+    default:
+      return kGate2Area +
+             kGateExtraInput *
+                 static_cast<double>(fanins > 2 ? fanins - 2 : 0);
+  }
+}
+
+double counter_area(unsigned bits) {
+  return bits * (kFlopArea + kCounterLogicPerBit);
+}
+
+}  // namespace
+
+double bist_area(const BistHardwarePlan& plan) {
+  double area = 0.0;
+
+  // LFSR: flops + feedback XORs + seed-load muxes.
+  area += plan.lfsr_bits * (kFlopArea + kMux2Area);
+  area += 3 * kXor2Area;  // <= 4-tap primitive polynomials
+
+  // Repeated-synchronization biasing gates (charged per §4.6).
+  area += static_cast<double>(plan.bias_gates) *
+          (kGate2Area +
+           kGateExtraInput *
+               static_cast<double>(plan.bias_gate_inputs > 2
+                                       ? plan.bias_gate_inputs - 2
+                                       : 0));
+
+  // Counters and their strobe gates.
+  area += counter_area(plan.cycle_counter_bits);
+  area += counter_area(plan.shift_counter_bits);
+  area += counter_area(plan.segment_counter_bits);
+  area += counter_area(plan.sequence_counter_bits);
+  area += 2 * kGate2Area;  // apply / hold NOR gates
+
+  // Controller FSM and clock-gating network.
+  area += kControllerArea;
+
+  // Seed storage.
+  area += static_cast<double>(plan.seed_rom_bits) * kRomBitArea;
+
+  if (plan.with_hold) {
+    area += static_cast<double>(plan.hold_sets) * kClockGateArea;
+    area += counter_area(plan.set_counter_bits);
+    area += static_cast<double>(plan.decoder_outputs) *
+            (kGate2Area + kInvArea);  // one-hot decode per line
+  }
+  return area;
+}
+
+double circuit_area(const Netlist& netlist) {
+  require(netlist.finalized(), "circuit_area", "netlist must be finalized");
+  double area = 0.0;
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    const Gate& g = netlist.gate(id);
+    area += gate_area(g.type, g.fanins.size());
+  }
+  return area;
+}
+
+}  // namespace fbt

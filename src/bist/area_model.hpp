@@ -1,0 +1,43 @@
+// Gate-equivalent area model (stand-in for Design Compiler + a 0.18 um
+// generic library; see DESIGN.md, Substitutions #4).
+//
+// Per the dissertation's accounting (§4.6): the MISR and the primary-input
+// shift register are NOT charged (primary inputs of an embedded block are
+// already driven by reusable registers); the biasing gates, LFSR, counters,
+// controller, seed storage, and -- when state holding is used -- the clock
+// gating cells, set counter, and decoder ARE charged.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Inventory of the on-chip test-generation hardware for one configuration.
+struct BistHardwarePlan {
+  unsigned lfsr_bits = 32;
+  std::size_t bias_gates = 0;   ///< one m-input AND/OR per specified input
+  unsigned bias_gate_inputs = 3;
+
+  unsigned cycle_counter_bits = 1;
+  unsigned shift_counter_bits = 1;
+  unsigned segment_counter_bits = 1;
+  unsigned sequence_counter_bits = 1;
+
+  std::size_t seed_rom_bits = 0;  ///< N_seeds * lfsr_bits
+
+  bool with_hold = false;
+  std::size_t hold_sets = 0;      ///< N_h clock-gating cells
+  unsigned set_counter_bits = 0;
+  std::size_t decoder_outputs = 0;
+};
+
+/// Area (um^2) of the BIST hardware described by `plan`.
+double bist_area(const BistHardwarePlan& plan);
+
+/// Area (um^2) of the circuit itself (scan flops + combinational gates),
+/// used as the denominator of the overhead percentage.
+double circuit_area(const Netlist& netlist);
+
+}  // namespace fbt

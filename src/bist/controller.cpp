@@ -1,0 +1,151 @@
+#include "bist/controller.hpp"
+
+#include <vector>
+
+namespace fbt {
+
+std::string_view bist_mode_name(BistMode mode) {
+  switch (mode) {
+    case BistMode::kIdle: return "idle";
+    case BistMode::kSeedLoad: return "seed-load";
+    case BistMode::kShiftRegInit: return "sr-init";
+    case BistMode::kCircuitInit: return "circuit-init";
+    case BistMode::kApply: return "apply";
+    case BistMode::kCircularShift: return "circular-shift";
+    case BistMode::kDone: return "done";
+  }
+  return "?";
+}
+
+BistController::BistController(BistControllerPlan plan)
+    : plan_(std::move(plan)) {
+  require(plan_.q >= 1, "BistController", "q must be >= 1");
+  for (const auto& seq : plan_.sequences) {
+    require(!seq.empty(), "BistController", "empty sequence in plan");
+    for (const std::size_t len : seq) {
+      require(len >= 1, "BistController", "empty segment in plan");
+    }
+  }
+  if (plan_.sequences.empty()) {
+    mode_ = BistMode::kDone;
+  } else {
+    enter(BistMode::kCircuitInit);
+  }
+}
+
+ClockEnables BistController::enables() const {
+  switch (mode_) {
+    case BistMode::kSeedLoad:
+    case BistMode::kShiftRegInit:
+      // Circuit clock gated; only the TPG runs (§4.4: "the state of the
+      // circuit is held [while] a new LFSR seed can be loaded").
+      return {.tpg = true, .circuit = false, .misr = false};
+    case BistMode::kCircuitInit:
+      return {.tpg = false, .circuit = true, .misr = false};
+    case BistMode::kApply:
+      return {.tpg = true, .circuit = true, .misr = true};
+    case BistMode::kCircularShift:
+      return {.tpg = false, .circuit = true, .misr = true};
+    default:
+      return {};
+  }
+}
+
+bool BistController::at_capture() const {
+  if (mode_ != BistMode::kApply) return false;
+  const std::size_t period = std::size_t{1} << plan_.q;
+  return (apply_cycle_ % period) == period - 1;
+}
+
+void BistController::enter(BistMode mode) {
+  mode_ = mode;
+  switch (mode) {
+    case BistMode::kSeedLoad:
+      mode_cycles_left_ = 1;
+      break;
+    case BistMode::kShiftRegInit:
+      mode_cycles_left_ = plan_.shift_register_size;
+      break;
+    case BistMode::kCircuitInit:
+    case BistMode::kCircularShift:
+      mode_cycles_left_ = plan_.scan_length;
+      break;
+    case BistMode::kApply:
+      apply_cycle_ = 0;
+      break;
+    default:
+      mode_cycles_left_ = 0;
+      break;
+  }
+  if (mode != BistMode::kApply && mode != BistMode::kDone &&
+      mode != BistMode::kIdle && mode_cycles_left_ == 0) {
+    advance();  // zero-length phase (e.g. Lsc == 0 or SR size 0): skip it
+  }
+}
+
+void BistController::advance() {
+  switch (mode_) {
+    case BistMode::kCircuitInit:
+      enter(BistMode::kSeedLoad);
+      break;
+    case BistMode::kSeedLoad:
+      enter(BistMode::kShiftRegInit);
+      break;
+    case BistMode::kShiftRegInit:
+      enter(BistMode::kApply);
+      break;
+    case BistMode::kApply:
+    case BistMode::kCircularShift: {
+      // End of a segment: next segment (reseed), next sequence
+      // (re-initialize), or done.
+      if (segment_ + 1 < plan_.sequences[sequence_].size()) {
+        ++segment_;
+        enter(BistMode::kSeedLoad);
+      } else if (sequence_ + 1 < plan_.sequences.size()) {
+        ++sequence_;
+        segment_ = 0;
+        enter(BistMode::kCircuitInit);
+      } else {
+        mode_ = BistMode::kDone;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+BistMode BistController::tick() {
+  const BistMode executed = mode_;
+  if (mode_ == BistMode::kDone || mode_ == BistMode::kIdle) return executed;
+  ++total_cycles_;
+
+  if (mode_ == BistMode::kApply) {
+    const bool captured = at_capture();
+    ++apply_cycle_;
+    const bool segment_done =
+        apply_cycle_ >= plan_.sequences[sequence_][segment_];
+    if (captured && plan_.scan_length > 0) {
+      // The capture's circular shift runs next; resuming or advancing after
+      // it depends on whether the segment is finished.
+      enter(BistMode::kCircularShift);
+      if (segment_done) apply_cycle_ = plan_.sequences[sequence_][segment_];
+      return executed;
+    }
+    if (segment_done) advance();
+    return executed;
+  }
+
+  --mode_cycles_left_;
+  if (mode_cycles_left_ == 0) {
+    if (mode_ == BistMode::kCircularShift &&
+        apply_cycle_ < plan_.sequences[sequence_][segment_]) {
+      mode_ = BistMode::kApply;  // resume the segment where it paused
+    } else {
+      advance();
+    }
+  }
+  return executed;
+}
+
+}  // namespace fbt

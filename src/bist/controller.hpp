@@ -1,0 +1,82 @@
+// BIST controller finite state machine (dissertation §4.4 / Fig. 4.2).
+//
+// "The clocks for the TPG logic, the counters and the circuit are gated and
+// controlled by a finite state machine, so that the TPG logic and the
+// counters can operate simultaneously or not with the circuit under
+// different operation modes such as seed loading, shift register
+// initialization, circuit initialization, primary input sequence
+// application, and circular shifting."
+//
+// This is that FSM as a cycle-steppable model. Clock gating is exposed as
+// boolean enables per clock domain; the session and the unit tests drive it
+// and check the mode sequencing and per-mode cycle counts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+enum class BistMode : std::uint8_t {
+  kIdle,
+  kSeedLoad,       ///< 1 cycle: parallel-load the LFSR seed
+  kShiftRegInit,   ///< shift-register-size cycles: fill the SR from the LFSR
+  kCircuitInit,    ///< Lsc cycles: shift in the reachable initial state
+  kApply,          ///< functional application of the current segment
+  kCircularShift,  ///< Lsc cycles: capture s(i+2) into the MISR and restore
+  kDone,
+};
+
+std::string_view bist_mode_name(BistMode mode);
+
+/// Per-cycle clock enables derived from the mode (Fig. 4.2's gating).
+struct ClockEnables {
+  bool tpg = false;      ///< LFSR + shift register clock
+  bool circuit = false;  ///< functional clock of the CUT
+  bool misr = false;     ///< response compactor clock
+};
+
+struct BistControllerPlan {
+  std::size_t shift_register_size = 0;
+  std::size_t scan_length = 0;  ///< Lsc (0 for a flop-less block)
+  /// Segment lengths per sequence, e.g. {{768, 400}, {768}}.
+  std::vector<std::vector<std::size_t>> sequences;
+  unsigned q = 1;  ///< tests applied every 2^q cycles
+};
+
+class BistController {
+ public:
+  explicit BistController(BistControllerPlan plan);
+
+  BistMode mode() const { return mode_; }
+  ClockEnables enables() const;
+
+  /// Advances one controller cycle. Returns the mode that was just executed.
+  BistMode tick();
+
+  bool done() const { return mode_ == BistMode::kDone; }
+  std::size_t total_cycles() const { return total_cycles_; }
+  std::size_t sequence_index() const { return sequence_; }
+  std::size_t segment_index() const { return segment_; }
+
+  /// True on apply cycles where the capture edge lands (the second pattern
+  /// of a test): the following cycles run the circular shift.
+  bool at_capture() const;
+
+ private:
+  void enter(BistMode mode);
+  void advance();
+
+  BistControllerPlan plan_;
+  BistMode mode_ = BistMode::kIdle;
+  std::size_t sequence_ = 0;
+  std::size_t segment_ = 0;
+  std::size_t mode_cycles_left_ = 0;
+  std::size_t apply_cycle_ = 0;  ///< within-segment clock cycle counter
+  std::size_t total_cycles_ = 0;
+};
+
+}  // namespace fbt

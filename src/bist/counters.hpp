@@ -1,0 +1,79 @@
+// Counter and control-signal hardware models (dissertation Figs. 4.6, 4.11,
+// 4.13).
+//
+// The BIST controller tracks progress with four counters (clock cycle, shift,
+// segment, sequence) and derives the test-apply and hold-enable strobes from
+// the clock-cycle counter's low-order bits through NOR gates. These classes
+// model the cycle-accurate behaviour; the area model charges their bits.
+#pragma once
+
+#include <cstdint>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+/// Number of bits needed to count up to `max_value` (>= 1).
+inline unsigned bits_for(std::uint64_t max_value) {
+  unsigned bits = 1;
+  while ((1ULL << bits) <= max_value) ++bits;
+  return bits;
+}
+
+/// Free-running up-counter of a fixed width.
+class UpCounter {
+ public:
+  explicit UpCounter(unsigned bits) : bits_(bits) {
+    require(bits >= 1 && bits <= 63, "UpCounter", "bits must be in 1..63");
+  }
+
+  unsigned bits() const { return bits_; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+  void tick() { value_ = (value_ + 1) & ((1ULL << bits_) - 1); }
+
+ private:
+  unsigned bits_;
+  std::uint64_t value_ = 0;
+};
+
+/// Test-apply strobe of Fig. 4.6: the NOR of the clock-cycle counter's
+/// rightmost q bits -- high every 2^q cycles. With q=1 (the dissertation's
+/// choice) the inverted rightmost bit is used directly and no NOR is needed.
+inline bool apply_signal(const UpCounter& cycle_counter, unsigned q) {
+  require(q >= 1 && q < cycle_counter.bits(), "apply_signal",
+          "q must be in [1, counter bits)");
+  return (cycle_counter.value() & ((1ULL << q) - 1)) == 0;
+}
+
+/// Hold-enable strobe of Fig. 4.11: the NOR of the rightmost h bits -- state
+/// holding is performed in the following clock cycle, i.e. every 2^h cycles.
+inline bool hold_enable(const UpCounter& cycle_counter, unsigned h) {
+  require(h >= 1 && h < cycle_counter.bits(), "hold_enable",
+          "h must be in [1, counter bits)");
+  return (cycle_counter.value() & ((1ULL << h) - 1)) == 0;
+}
+
+/// One-hot decoder of Fig. 4.13: routes the shared hold-enable to the
+/// selected hold set.
+class SetDecoder {
+ public:
+  explicit SetDecoder(std::size_t outputs) : outputs_(outputs) {
+    require(outputs >= 1, "SetDecoder", "need at least one output");
+  }
+
+  std::size_t outputs() const { return outputs_; }
+  unsigned select_bits() const { return bits_for(outputs_ - 1); }
+
+  /// Decoded hold-enable lines for the given set-counter value.
+  bool line(std::size_t index, std::uint64_t set_counter_value,
+            bool hold_en) const {
+    require(index < outputs_, "SetDecoder::line", "index out of range");
+    return hold_en && set_counter_value == index;
+  }
+
+ private:
+  std::size_t outputs_;
+};
+
+}  // namespace fbt

@@ -1,0 +1,183 @@
+#include "bist/functional_bist.hpp"
+
+#include <algorithm>
+
+#include "fault/fault_sim.hpp"
+#include "sim/seqsim.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+FunctionalBistGenerator::FunctionalBistGenerator(
+    const Netlist& netlist, const FunctionalBistConfig& config)
+    : netlist_(&netlist),
+      config_(config),
+      tpg_(netlist, config.tpg),
+      rng_(config.rng_seed, 0xb5ad4eceda1ce2a9ULL) {
+  require(config.segment_length >= 2 && config.segment_length % 2 == 0,
+          "FunctionalBistGenerator", "segment length L must be even and >= 2");
+  require(config.max_segment_failures >= 1 && config.max_sequence_failures >= 1,
+          "FunctionalBistGenerator", "R and Q must be >= 1");
+  if (!config.hold_set.empty()) {
+    require(config.hold_period_log2 >= 1, "FunctionalBistGenerator",
+            "hold_period_log2 (h) must be >= 1 when a hold set is given");
+    hold_mask_.assign(netlist.num_flops(), 0);
+    for (const std::size_t flop : config.hold_set) {
+      require(flop < netlist.num_flops(), "FunctionalBistGenerator",
+              "hold set flop index out of range");
+      hold_mask_[flop] = 1;
+    }
+  }
+}
+
+FunctionalBistGenerator::CandidateSegment
+FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
+  const std::size_t L = config_.segment_length;
+  const bool holding = !hold_mask_.empty();
+  const std::size_t hold_period =
+      holding ? (std::size_t{1} << config_.hold_period_log2) : 0;
+
+  // Single pass with rolling snapshots: simulate up to L cycles, extracting
+  // tests as we go. SWA(c) is the activity of the transition *into*
+  // within-segment cycle c; a violation at cycle c means only p(0..c-1) is
+  // usable, trimmed to the last even length so the segment ends on a test
+  // boundary (§4.4). The trim point is at most two cycles back, so keeping
+  // snapshots at the last two even-cycle boundaries suffices to rewind.
+  tpg_.reseed(seed);
+  CandidateSegment result;
+  std::vector<double> swa_trace;   // per within-segment cycle
+  swa_trace.reserve(L);
+  SeqSim::Snapshot even_snap = sim.snapshot();  // state at last even cycle
+  SeqSim::Snapshot prev_even_snap = even_snap;
+  std::vector<std::uint8_t> launch_state;  // s(k) of the pending test
+  std::vector<std::uint8_t> mid_state;     // s(k+1), possibly held
+  std::size_t usable = L;
+
+  for (std::size_t c = 0; c < L; ++c) {
+    const bool even = (c % 2 == 0);
+    if (even) {
+      prev_even_snap = std::move(even_snap);
+      even_snap = sim.snapshot();
+      launch_state = sim.state();
+    }
+    std::vector<std::uint8_t> vec = tpg_.next_vector();
+    std::span<const std::uint8_t> held;
+    if (holding && c % hold_period == 0) held = hold_mask_;
+    const SeqStep step = sim.step(vec, held);
+    bool violation = config_.bounded && step.toggled_lines > 0 &&
+                     step.switching_percent > config_.swa_bound_percent;
+    if (!violation && config_.bounded && config_.pattern_store != nullptr &&
+        step.toggled_lines > 0) {
+      // §5.1 admissibility: the cycle's signal-transition pattern must be a
+      // subset of a functionally observed one.
+      violation = !config_.pattern_store->admits(
+          make_transition_pattern(sim.prev_values(), sim.values()));
+    }
+    if (violation) {
+      usable = c & ~std::size_t{1};  // j = c-1, rounded down to even
+      // Rewind to the end of the usable prefix and drop trimmed tests.
+      sim.restore(even ? even_snap : prev_even_snap);
+      break;
+    }
+    swa_trace.push_back(step.switching_percent);
+    if (even) {
+      mid_state = sim.state();  // s(k+1): after the (possibly held) update
+      pending_v1_ = std::move(vec);
+    } else {
+      BroadsideTest test;
+      test.scan_state = launch_state;
+      test.v1 = std::move(pending_v1_);
+      test.v2 = std::move(vec);
+      if (holding) test.state2_override = mid_state;
+      result.tests.push_back(std::move(test));
+    }
+  }
+
+  result.usable_cycles = usable;
+  if (usable < 2) {
+    // Ensure the simulator is back at the segment start (usable == 0 means
+    // the violation hit on the first transition).
+    result.tests.clear();
+    result.usable_cycles = 0;
+    return result;
+  }
+  result.tests.resize(usable / 2);
+  // Applied cycles are 0 .. usable-1; the settling of cycle `usable` happens
+  // under the next segment's first vector and is measured there.
+  for (std::size_t c = 0; c < std::min(usable, swa_trace.size()); ++c) {
+    result.peak_swa = std::max(result.peak_swa, swa_trace[c]);
+  }
+  return result;
+}
+
+FunctionalBistResult FunctionalBistGenerator::run(
+    const TransitionFaultList& faults,
+    std::vector<std::uint32_t>& detect_count) {
+  require(detect_count.size() == faults.size(), "FunctionalBistGenerator::run",
+          "detect_count size must equal the fault count");
+
+  FunctionalBistResult result;
+  BroadsideFaultSim fsim(*netlist_);
+  SeqSim sim(*netlist_);
+
+  std::size_t sequence_failures = 0;
+  while (sequence_failures < config_.max_sequence_failures) {
+    // Attempt to construct one multi-segment primary input sequence, starting
+    // from the reachable initial state (all-0).
+    sim.load_reset_state();
+    SequenceRecord sequence;
+    TestSet sequence_tests;
+    double sequence_peak = 0.0;
+    std::size_t segment_failures = 0;
+    std::vector<std::uint32_t> committed = detect_count;
+
+    while (segment_failures < config_.max_segment_failures) {
+      const auto seed = static_cast<std::uint32_t>(rng_.next() | 1u);
+      const SeqSim::Snapshot before = sim.snapshot();
+      CandidateSegment candidate = build_segment(sim, seed);
+      bool accepted = false;
+      if (!candidate.tests.empty()) {
+        std::vector<std::uint32_t> trial = committed;
+        const std::size_t fresh = fsim.grade(candidate.tests, faults, trial,
+                                             config_.detect_limit);
+        if (fresh > 0) {
+          committed = std::move(trial);
+          result.newly_detected += fresh;
+          accepted = true;
+          sequence.segments.push_back(
+              {seed, candidate.usable_cycles, candidate.tests.size()});
+          sequence_peak = std::max(sequence_peak, candidate.peak_swa);
+          for (auto& t : candidate.tests) {
+            sequence_tests.push_back(std::move(t));
+          }
+        }
+      }
+      if (accepted) {
+        segment_failures = 0;
+      } else {
+        sim.restore(before);
+        ++segment_failures;
+      }
+    }
+
+    if (sequence.segments.empty()) {
+      ++sequence_failures;  // P_seg(0) could not be selected
+      continue;
+    }
+    sequence_failures = 0;
+    detect_count = committed;
+    result.nseg_max = std::max(result.nseg_max, sequence.segments.size());
+    for (const auto& seg : sequence.segments) {
+      result.lmax = std::max(result.lmax, seg.length);
+      ++result.num_seeds;
+    }
+    result.peak_swa = std::max(result.peak_swa, sequence_peak);
+    for (auto& t : sequence_tests) result.tests.push_back(std::move(t));
+    result.sequences.push_back(std::move(sequence));
+  }
+
+  result.num_tests = result.tests.size();
+  return result;
+}
+
+}  // namespace fbt

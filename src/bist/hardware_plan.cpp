@@ -1,0 +1,53 @@
+#include "bist/hardware_plan.hpp"
+
+#include <algorithm>
+
+#include "bist/counters.hpp"
+
+namespace fbt {
+namespace {
+
+BistHardwarePlan base_plan(const Tpg& tpg, const ScanChains& scan,
+                           std::size_t lmax, std::size_t nseg_max,
+                           std::size_t num_sequences, std::size_t num_seeds) {
+  BistHardwarePlan plan;
+  plan.lfsr_bits = tpg.config().lfsr_stages;
+  plan.bias_gates = tpg.bias_gate_count();
+  plan.bias_gate_inputs = tpg.config().bias_bits;
+  plan.cycle_counter_bits = bits_for(std::max<std::size_t>(2, lmax));
+  plan.shift_counter_bits =
+      bits_for(std::max<std::size_t>(2, scan.longest_length()));
+  plan.segment_counter_bits = bits_for(std::max<std::size_t>(2, nseg_max));
+  plan.sequence_counter_bits =
+      bits_for(std::max<std::size_t>(2, num_sequences));
+  plan.seed_rom_bits = num_seeds * plan.lfsr_bits;
+  return plan;
+}
+
+}  // namespace
+
+BistHardwarePlan plan_functional_bist_hardware(
+    const Tpg& tpg, const ScanChains& scan, const FunctionalBistResult& run) {
+  return base_plan(tpg, scan, run.lmax, run.nseg_max, run.sequences.size(),
+                   run.num_seeds);
+}
+
+BistHardwarePlan plan_hold_bist_hardware(const Tpg& tpg, const ScanChains& scan,
+                                         const FunctionalBistResult& base_run,
+                                         const HoldSelectionResult& hold_run) {
+  BistHardwarePlan plan = base_plan(
+      tpg, scan, std::max(base_run.lmax, hold_run.lmax),
+      std::max(base_run.nseg_max, hold_run.nseg_max),
+      std::max(base_run.sequences.size(), hold_run.num_sequences),
+      base_run.num_seeds + hold_run.num_seeds);
+  if (!hold_run.selected.empty()) {
+    plan.with_hold = true;
+    plan.hold_sets = hold_run.selected.size();
+    plan.set_counter_bits =
+        bits_for(std::max<std::size_t>(2, hold_run.selected.size()));
+    plan.decoder_outputs = hold_run.selected.size();
+  }
+  return plan;
+}
+
+}  // namespace fbt

@@ -1,0 +1,26 @@
+// Assembles the BIST hardware inventory for the area model from a generation
+// result (dissertation §4.4, §4.5.2, Tables 4.3/4.4).
+#pragma once
+
+#include "bist/area_model.hpp"
+#include "bist/functional_bist.hpp"
+#include "bist/state_holding.hpp"
+#include "bist/tpg.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+/// Plan for functional-broadside-only generation (Table 4.3). Counter widths
+/// are sized for the run's actual L_max, Lsc, N_segmax, and N_multi.
+BistHardwarePlan plan_functional_bist_hardware(const Tpg& tpg,
+                                               const ScanChains& scan,
+                                               const FunctionalBistResult& run);
+
+/// Plan including the state-holding phase (Table 4.4): adds the clock-gating
+/// cells, set counter, and decoder, and resizes counters/seed ROM for the
+/// union of both phases.
+BistHardwarePlan plan_hold_bist_hardware(const Tpg& tpg, const ScanChains& scan,
+                                         const FunctionalBistResult& base_run,
+                                         const HoldSelectionResult& hold_run);
+
+}  // namespace fbt

@@ -1,0 +1,36 @@
+#include "bist/input_cube.hpp"
+
+#include "sim/cubesim.hpp"
+
+namespace fbt {
+
+std::size_t InputCube::specified_count() const {
+  std::size_t count = 0;
+  for (const Val3 v : values) {
+    if (v != Val3::kX) ++count;
+  }
+  return count;
+}
+
+InputCube compute_input_cube(const Netlist& netlist) {
+  InputCube cube;
+  cube.values.assign(netlist.num_inputs(), Val3::kX);
+  CubeSim sim(netlist);
+  for (std::size_t i = 0; i < netlist.num_inputs(); ++i) {
+    std::size_t synchronized[2];
+    for (int v = 0; v <= 1; ++v) {
+      sim.clear();
+      sim.set_value(netlist.inputs()[i], v == 0 ? Val3::k0 : Val3::k1);
+      sim.eval();
+      synchronized[v] = sim.specified_next_state_count();
+    }
+    if (synchronized[0] < synchronized[1]) {
+      cube.values[i] = Val3::k0;  // 0 synchronizes fewer: favour 0
+    } else if (synchronized[1] < synchronized[0]) {
+      cube.values[i] = Val3::k1;
+    }
+  }
+  return cube;
+}
+
+}  // namespace fbt

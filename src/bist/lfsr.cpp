@@ -1,0 +1,73 @@
+#include "bist/lfsr.hpp"
+
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::uint32_t Lfsr::primitive_taps(unsigned stages) {
+  // Xilinx XAPP052 table of taps for maximal-length LFSRs; entry k lists the
+  // stages (1-based) whose XOR feeds stage 1.
+  static constexpr std::uint8_t kTaps[33][4] = {
+      {0, 0, 0, 0},      // 0 (unused)
+      {0, 0, 0, 0},      // 1 (unused)
+      {2, 1, 0, 0},      // 2
+      {3, 2, 0, 0},      // 3
+      {4, 3, 0, 0},      // 4
+      {5, 3, 0, 0},      // 5
+      {6, 5, 0, 0},      // 6
+      {7, 6, 0, 0},      // 7
+      {8, 6, 5, 4},      // 8
+      {9, 5, 0, 0},      // 9
+      {10, 7, 0, 0},     // 10
+      {11, 9, 0, 0},     // 11
+      {12, 6, 4, 1},     // 12
+      {13, 4, 3, 1},     // 13
+      {14, 5, 3, 1},     // 14
+      {15, 14, 0, 0},    // 15
+      {16, 15, 13, 4},   // 16
+      {17, 14, 0, 0},    // 17
+      {18, 11, 0, 0},    // 18
+      {19, 6, 2, 1},     // 19
+      {20, 17, 0, 0},    // 20
+      {21, 19, 0, 0},    // 21
+      {22, 21, 0, 0},    // 22
+      {23, 18, 0, 0},    // 23
+      {24, 23, 22, 17},  // 24
+      {25, 22, 0, 0},    // 25
+      {26, 6, 2, 1},     // 26
+      {27, 5, 2, 1},     // 27
+      {28, 25, 0, 0},    // 28
+      {29, 27, 0, 0},    // 29
+      {30, 6, 4, 1},     // 30
+      {31, 28, 0, 0},    // 31
+      {32, 22, 2, 1},    // 32
+  };
+  require(stages >= 2 && stages <= 32, "Lfsr",
+          "supported stage counts are 2..32");
+  std::uint32_t mask = 0;
+  for (const std::uint8_t tap : kTaps[stages]) {
+    if (tap != 0) mask |= 1u << (tap - 1);
+  }
+  return mask;
+}
+
+Lfsr::Lfsr(unsigned stages)
+    : stages_(stages),
+      taps_(primitive_taps(stages)),
+      mask_(stages == 32 ? 0xffffffffu : ((1u << stages) - 1)) {}
+
+void Lfsr::seed(std::uint32_t value) {
+  state_ = value & mask_;
+  if (state_ == 0) state_ = 1;
+}
+
+std::uint32_t Lfsr::step() {
+  const auto feedback =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | feedback) & mask_;
+  return state_;
+}
+
+}  // namespace fbt

@@ -1,0 +1,45 @@
+// n-stage linear feedback shift register (dissertation §4.2, Fig. 4.3).
+//
+// Fibonacci configuration: stages Q1..Qn shift right each clock; the new Q1
+// is the XOR of the tapped stages. With a primitive characteristic polynomial
+// the register cycles through all 2^n - 1 nonzero states, so its states serve
+// as pseudo-random test vectors.
+#pragma once
+
+#include <cstdint>
+
+namespace fbt {
+
+class Lfsr {
+ public:
+  /// Constructs a maximal-period LFSR with 2 <= stages <= 32, using a
+  /// primitive polynomial from the standard (Xilinx XAPP052) table.
+  explicit Lfsr(unsigned stages);
+
+  unsigned stages() const { return stages_; }
+
+  /// Loads a seed. The all-zero state is the lockup state of a XOR-feedback
+  /// LFSR; a zero seed (mod 2^stages) is replaced by 1.
+  void seed(std::uint32_t value);
+
+  /// Current state, Q1 in bit 0.
+  std::uint32_t state() const { return state_; }
+
+  /// Output bit observed by downstream logic (the last stage, Qn).
+  bool output() const { return ((state_ >> (stages_ - 1)) & 1u) != 0; }
+
+  /// Advances one clock. Returns the new state.
+  std::uint32_t step();
+
+  /// Tap mask of the primitive polynomial used for `stages` (bit i set means
+  /// stage i+1 feeds the XOR). Exposed for tests and the MISR.
+  static std::uint32_t primitive_taps(unsigned stages);
+
+ private:
+  unsigned stages_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_ = 1;
+};
+
+}  // namespace fbt

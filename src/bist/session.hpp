@@ -1,0 +1,49 @@
+// Cycle-accurate on-chip test session (dissertation §4.2-§4.3, Figs. 4.2,
+// 4.5, 4.6).
+//
+// Replays a generated FunctionalBistResult the way the hardware applies it:
+// seed load, shift-register initialization, circuit initialization into the
+// reachable state, functional application of the primary input sequence with
+// the apply strobe every 2q cycles, MISR capture of the primary-output
+// response y(i+1) and of the final state s(i+2) via circular shift, and the
+// segment/sequence bookkeeping counters. Produces the golden signature and
+// total tester-cycle count; running the same session on a faulty circuit
+// (fault injected via a wrapper netlist or simulator) yields a differing
+// signature with high probability.
+#pragma once
+
+#include <cstdint>
+
+#include "bist/counters.hpp"
+#include "bist/functional_bist.hpp"
+#include "bist/misr.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+struct SessionConfig {
+  unsigned misr_stages = 24;
+  unsigned q = 1;  ///< apply strobe period 2^q (the dissertation uses q = 1)
+  TpgConfig tpg;
+};
+
+struct SessionReport {
+  std::uint32_t signature = 0;
+  std::size_t total_cycles = 0;        ///< functional + shift + init cycles
+  std::size_t functional_cycles = 0;   ///< cycles spent applying sequences
+  std::size_t shift_cycles = 0;        ///< circular-shift / unload cycles
+  std::size_t tests_applied = 0;
+};
+
+/// Runs the session on the (fault-free) netlist. `faulty_line`/`faulty_rising`
+/// optionally inject one transition fault as a permanent slow line modelled as
+/// stuck-at-initial-value during every second pattern, matching the fault
+/// simulator's detection semantics; pass kNoNode for a fault-free run.
+SessionReport run_bist_session(const Netlist& netlist,
+                               const FunctionalBistResult& plan,
+                               const ScanChains& scan,
+                               const SessionConfig& config,
+                               NodeId faulty_line = kNoNode,
+                               bool faulty_rising = true);
+
+}  // namespace fbt

@@ -1,0 +1,37 @@
+#include "bist/signal_transitions.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+TransitionPattern make_transition_pattern(
+    const std::vector<std::uint8_t>& prev_values,
+    const std::vector<std::uint8_t>& values) {
+  require(prev_values.size() == values.size(), "make_transition_pattern",
+          "value vectors must have equal size");
+  TransitionPattern pattern(values.size());
+  for (std::size_t line = 0; line < values.size(); ++line) {
+    if (values[line] != prev_values[line]) {
+      pattern.mark(static_cast<NodeId>(line), values[line] != 0);
+    }
+  }
+  return pattern;
+}
+
+bool TransitionPatternStore::record(TransitionPattern pattern) {
+  if (patterns_.size() >= cap_) return false;
+  for (const TransitionPattern& existing : patterns_) {
+    if (pattern.subset_of(existing)) return false;  // already covered
+  }
+  patterns_.push_back(std::move(pattern));
+  return true;
+}
+
+bool TransitionPatternStore::admits(const TransitionPattern& pattern) const {
+  for (const TransitionPattern& existing : patterns_) {
+    if (pattern.subset_of(existing)) return true;
+  }
+  return false;
+}
+
+}  // namespace fbt

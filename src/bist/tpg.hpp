@@ -1,0 +1,62 @@
+// On-chip test pattern generator (dissertation §4.3, Fig. 4.8).
+//
+// A fixed-width LFSR drives a shift register; primary inputs are tapped off
+// the shift register. An input i with a specified cube value C(i) is driven by
+// an m-input AND (C(i)=0) or OR (C(i)=1) over m distinct shift-register bits,
+// biasing its value toward C(i) with probability 1 - 1/2^m; an unspecified
+// input is driven by a single bit. The shift-register size is
+// m*N_SP + (N_PI - N_SP). After (re)seeding, the shift register is clocked
+// full before pattern generation begins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bist/input_cube.hpp"
+#include "bist/lfsr.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+struct TpgConfig {
+  unsigned lfsr_stages = 32;  ///< N_LFSR (§4.6 uses 32)
+  unsigned bias_bits = 3;     ///< m (§4.6 uses 3, giving 7/8 bias)
+};
+
+class Tpg {
+ public:
+  /// Builds the TPG for a circuit: computes the input cube and allocates
+  /// shift-register taps.
+  Tpg(const Netlist& netlist, const TpgConfig& config);
+
+  const InputCube& cube() const { return cube_; }
+  const TpgConfig& config() const { return config_; }
+
+  /// Shift register length m*N_SP + (N_PI - N_SP).
+  std::size_t shift_register_size() const { return shift_register_.size(); }
+
+  /// Number of inserted biasing gates (one m-input AND/OR per specified
+  /// input) -- reported as N_SP in Table 4.2 and charged by the area model.
+  std::size_t bias_gate_count() const { return cube_.specified_count(); }
+
+  /// Loads an LFSR seed and clocks the shift register full (initialization
+  /// cycles are part of test time but generate no patterns).
+  void reseed(std::uint32_t seed);
+
+  /// Advances one clock and returns the primary-input vector for this cycle.
+  std::vector<std::uint8_t> next_vector();
+
+ private:
+  void clock_shift_register();
+
+  const Netlist* netlist_;
+  TpgConfig config_;
+  InputCube cube_;
+  Lfsr lfsr_;
+  std::vector<std::uint8_t> shift_register_;
+  /// Per input: indices of its shift-register taps (m of them when biased,
+  /// one otherwise).
+  std::vector<std::vector<std::uint32_t>> taps_;
+};
+
+}  // namespace fbt

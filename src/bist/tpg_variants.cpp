@@ -1,0 +1,83 @@
+#include "bist/tpg_variants.hpp"
+
+#include "bist/input_cube.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+WeightedTpg::WeightedTpg(const Netlist& netlist, unsigned lfsr_stages,
+                         std::size_t num_sets, std::uint64_t seed)
+    : lfsr_(lfsr_stages) {
+  require(num_sets >= 1, "WeightedTpg", "need at least one weight set");
+  const std::size_t npi = netlist.num_inputs();
+  const InputCube cube = compute_input_cube(netlist);
+  Pcg32 rng(seed, 0x7f4a7c15ca01fd3bULL);
+
+  weights_.resize(num_sets, std::vector<std::uint8_t>(npi, 4));  // 4/8 = 1/2
+  for (std::size_t s = 1; s < num_sets; ++s) {
+    for (std::size_t i = 0; i < npi; ++i) {
+      if (cube.values[i] == Val3::k0) {
+        weights_[s][i] = 1;  // strongly favour 0
+      } else if (cube.values[i] == Val3::k1) {
+        weights_[s][i] = 7;  // strongly favour 1
+      } else {
+        // Random extreme or balanced, varying across sets.
+        static constexpr std::uint8_t kChoices[] = {1, 2, 4, 6, 7};
+        weights_[s][i] = kChoices[rng.below(5)];
+      }
+    }
+  }
+}
+
+bool WeightedTpg::lfsr_bit() {
+  lfsr_.step();
+  return lfsr_.output();
+}
+
+void WeightedTpg::reseed(std::uint32_t seed) {
+  lfsr_.seed(seed);
+  active_set_ = reseed_count_++ % weights_.size();
+}
+
+std::vector<std::uint8_t> WeightedTpg::next_vector() {
+  const auto& w = weights_[active_set_];
+  std::vector<std::uint8_t> vec(w.size(), 0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    // Realize probability w/8 from three LFSR bits: value 1 iff the 3-bit
+    // number formed is < w (an AND/OR tree in hardware).
+    unsigned three = 0;
+    for (int b = 0; b < 3; ++b) three = (three << 1) | (lfsr_bit() ? 1 : 0);
+    vec[i] = three < w[i] ? 1 : 0;
+  }
+  return vec;
+}
+
+BitFlippingTpg::BitFlippingTpg(const Netlist& netlist, unsigned lfsr_stages,
+                               std::uint64_t seed)
+    : lfsr_(lfsr_stages), num_inputs_(netlist.num_inputs()) {
+  Pcg32 rng(seed, 0x452821e638d01377ULL);
+  flip_mask_.resize(num_inputs_);
+  for (auto& mask : flip_mask_) {
+    // Sparse flips: each input inverts on ~2 of every 16 cycles.
+    mask = static_cast<std::uint16_t>(rng.next() & rng.next());
+  }
+}
+
+void BitFlippingTpg::reseed(std::uint32_t seed) {
+  lfsr_.seed(seed);
+  cycle_ = 0;
+}
+
+std::vector<std::uint8_t> BitFlippingTpg::next_vector() {
+  std::vector<std::uint8_t> vec(num_inputs_, 0);
+  const unsigned phase = cycle_ % 16;
+  for (std::size_t i = 0; i < num_inputs_; ++i) {
+    lfsr_.step();
+    const bool flip = (flip_mask_[i] >> phase) & 1u;
+    vec[i] = (lfsr_.output() != flip) ? 1 : 0;
+  }
+  ++cycle_;
+  return vec;
+}
+
+}  // namespace fbt

@@ -1,0 +1,92 @@
+// Alternative pseudo-random TPG architectures surveyed in §4.2
+// (refs [82]-[87]): weighted random pattern generation with multiple weight
+// sets, and bit-flipping on top of a plain LFSR. They share the PatternSource
+// interface with the paper's cube-biased Tpg so the generation flow and the
+// ablation bench can swap them in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bist/lfsr.hpp"
+#include "bist/tpg.hpp"
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+
+/// Common interface of on-chip pattern generators.
+class PatternSource {
+ public:
+  virtual ~PatternSource() = default;
+  virtual void reseed(std::uint32_t seed) = 0;
+  virtual std::vector<std::uint8_t> next_vector() = 0;
+};
+
+/// Adapter: the paper's cube-biased TPG as a PatternSource.
+class CubeTpgSource final : public PatternSource {
+ public:
+  CubeTpgSource(const Netlist& netlist, const TpgConfig& config)
+      : tpg_(netlist, config) {}
+  void reseed(std::uint32_t seed) override { tpg_.reseed(seed); }
+  std::vector<std::uint8_t> next_vector() override {
+    return tpg_.next_vector();
+  }
+  const Tpg& tpg() const { return tpg_; }
+
+ private:
+  Tpg tpg_;
+};
+
+/// Weighted random pattern generation [84]-[87]: each input i has a
+/// probability weight from a small discrete set {1/8, 1/4, 1/2, 3/4, 7/8},
+/// realized on-chip by AND/OR trees over LFSR bits. Multiple weight sets are
+/// cycled (a new set per reseed) to cover faults that need different biases.
+class WeightedTpg final : public PatternSource {
+ public:
+  /// Derives `num_sets` weight sets from the circuit: set 0 is balanced
+  /// (all 1/2); later sets bias toward the input cube's values and random
+  /// extremes (deterministic in `seed`).
+  WeightedTpg(const Netlist& netlist, unsigned lfsr_stages,
+              std::size_t num_sets, std::uint64_t seed);
+
+  void reseed(std::uint32_t seed) override;
+  std::vector<std::uint8_t> next_vector() override;
+
+  std::size_t num_sets() const { return weights_.size(); }
+  /// Weight (eighths of probability-of-1, 1..7) of input i in set s.
+  unsigned weight(std::size_t set, std::size_t input) const {
+    return weights_[set][input];
+  }
+  std::size_t active_set() const { return active_set_; }
+
+ private:
+  Lfsr lfsr_;
+  std::vector<std::vector<std::uint8_t>> weights_;  // eighths, per set
+  std::size_t active_set_ = 0;
+  std::size_t reseed_count_ = 0;
+
+  bool lfsr_bit();
+};
+
+/// Bit-flipping TPG [83]: a plain LFSR-driven pattern with a small
+/// deterministic flip function that inverts selected bits on selected
+/// cycles, breaking the linear correlation structure of the LFSR.
+class BitFlippingTpg final : public PatternSource {
+ public:
+  BitFlippingTpg(const Netlist& netlist, unsigned lfsr_stages,
+                 std::uint64_t seed);
+
+  void reseed(std::uint32_t seed) override;
+  std::vector<std::uint8_t> next_vector() override;
+
+ private:
+  Lfsr lfsr_;
+  std::size_t num_inputs_;
+  std::uint32_t cycle_ = 0;
+  /// flip_mask_[input]: cycles (mod 16) on which this input's bit inverts.
+  std::vector<std::uint16_t> flip_mask_;
+};
+
+}  // namespace fbt

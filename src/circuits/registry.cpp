@@ -1,0 +1,87 @@
+#include "circuits/registry.hpp"
+
+#include "circuits/s27.hpp"
+#include "circuits/synth.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+const std::vector<BenchmarkSpec>& benchmark_registry() {
+  // Interface counts: ISCAS89/ITC99 standard statistics for the chapter-2/3
+  // set; dissertation Table 4.2 for the chapter-4 embedded set. Gate budgets
+  // marked "scaled" are reduced from the published sizes.
+  static const std::vector<BenchmarkSpec> kRegistry = {
+      // ---- chapter 2/3: ISCAS89 -----------------------------------------
+      {"s27", 4, 1, 3, 0, 0, false, "genuine netlist"},
+      {"s298", 3, 6, 14, 119, 298, true, ""},
+      {"s344", 9, 11, 15, 160, 344, true, ""},
+      {"s349", 9, 11, 15, 161, 349, true, ""},
+      {"s382", 3, 6, 21, 158, 382, true, ""},
+      {"s386", 7, 7, 6, 159, 386, true, ""},
+      {"s444", 3, 6, 21, 181, 444, true, ""},
+      {"s510", 19, 7, 6, 211, 510, true, ""},
+      {"s526", 3, 6, 21, 193, 526, true, ""},
+      {"s641", 35, 24, 19, 379, 641, true, ""},
+      {"s713", 35, 23, 19, 393, 713, true, ""},
+      {"s820", 18, 19, 5, 289, 820, true, ""},
+      {"s832", 18, 19, 5, 287, 832, true, ""},
+      {"s953", 16, 23, 29, 395, 953, true, ""},
+      {"s1196", 14, 14, 18, 529, 1196, true, ""},
+      {"s1238", 14, 14, 18, 508, 1238, true, ""},
+      {"s1423", 17, 5, 74, 657, 1423, true, ""},
+      {"s1488", 8, 19, 6, 653, 1488, true, ""},
+      {"s1494", 8, 19, 6, 647, 1494, true, ""},
+      {"s5378", 35, 49, 179, 2200, 5378, true, "gates scaled from 2779"},
+      {"s9234", 36, 39, 211, 2800, 9234, true, "gates scaled from 5597"},
+      {"s13207", 62, 152, 638, 3200, 13207, true, "gates scaled from 7951"},
+      {"s35932", 35, 320, 1728, 4200, 35932, true, "gates scaled from 16065"},
+      {"s38417", 28, 106, 1636, 4600, 38417, true, "gates scaled from 22179"},
+      {"s38584", 38, 304, 1426, 4400, 38584, true, "gates scaled from 19253"},
+      // ---- chapter 3: ITC99 ----------------------------------------------
+      {"b11", 7, 6, 31, 366, 9911, true, ""},
+      {"b12", 5, 6, 121, 904, 9912, true, ""},
+      // ---- chapter 4: embedded set (Table 4.2 interface counts) ----------
+      {"s35932e", 35, 320, 1728, 4200, 45932, true,
+       "chapter-4 s35932; gates scaled from 16065"},
+      {"s38584e", 12, 278, 1164, 4000, 48584, true,
+       "chapter-4 s38584 (Table 4.2 interface); gates scaled"},
+      {"b14", 32, 54, 215, 2600, 9914, true, "gates scaled from ~4800"},
+      {"b20", 32, 22, 430, 3400, 9920, true, "gates scaled from ~9000"},
+      {"spi", 45, 45, 229, 2400, 20051, true, "gates scaled from ~3200"},
+      {"wb_dma", 215, 215, 523, 2800, 20052, true, "gates scaled from ~3600"},
+      {"systemcaes", 258, 129, 670, 3600, 20053, true,
+       "gates scaled from ~7500"},
+      {"systemcdes", 130, 65, 190, 2000, 20054, true,
+       "gates scaled from ~2600"},
+      {"des_area", 239, 64, 128, 2400, 20055, true, "gates scaled from ~3100"},
+      {"aes_core", 258, 129, 530, 3600, 20056, true,
+       "gates scaled from ~11000"},
+      {"wb_conmax", 1128, 1416, 770, 4600, 20057, true,
+       "gates scaled from ~29000"},
+      {"des_perf", 233, 64, 1200, 4800, 20058, true,
+       "gates and flops scaled from ~49000 gates / 8808 flops"},
+  };
+  return kRegistry;
+}
+
+const BenchmarkSpec& benchmark_spec(const std::string& name) {
+  for (const auto& spec : benchmark_registry()) {
+    if (spec.name == name) return spec;
+  }
+  throw Error("benchmark_spec: unknown benchmark '" + name + "'");
+}
+
+Netlist load_benchmark(const std::string& name) {
+  const BenchmarkSpec& spec = benchmark_spec(name);
+  if (!spec.synthetic) return make_s27();
+  SynthParams params;
+  params.name = spec.name;
+  params.num_inputs = spec.num_inputs;
+  params.num_outputs = spec.num_outputs;
+  params.num_flops = spec.num_flops;
+  params.num_gates = spec.num_gates;
+  params.seed = spec.seed;
+  return generate_synthetic(params);
+}
+
+}  // namespace fbt

@@ -1,0 +1,40 @@
+// Named benchmark registry.
+//
+// Maps the benchmark names used throughout the dissertation's tables
+// (ISCAS89, ITC99, IWLS2005) to circuit specifications. s27 is the genuine
+// netlist; all other circuits are synthetic equivalents whose interface
+// counts (N_PI, N_PO, N_SV) match the published values (dissertation Table
+// 4.2 for the Chapter-4 set; standard ISCAS89/ITC99 statistics otherwise) and
+// whose gate budgets are scaled where noted to keep single-machine runtimes
+// practical. See DESIGN.md, Substitutions #1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+struct BenchmarkSpec {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_flops = 0;
+  std::size_t num_gates = 0;  ///< synthetic gate budget (0 for real netlists)
+  std::uint64_t seed = 0;
+  bool synthetic = true;
+  std::string note;  ///< scaling note when gate/flop counts were reduced
+};
+
+/// All registered benchmarks (chapter-2/3 ISCAS + chapter-4 embedded set).
+const std::vector<BenchmarkSpec>& benchmark_registry();
+
+/// Spec by name; throws fbt::Error when unknown.
+const BenchmarkSpec& benchmark_spec(const std::string& name);
+
+/// Builds (or parses, for s27) the named benchmark. Deterministic.
+Netlist load_benchmark(const std::string& name);
+
+}  // namespace fbt

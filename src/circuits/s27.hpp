@@ -1,0 +1,19 @@
+// The genuine ISCAS89 s27 benchmark, embedded verbatim.
+//
+// s27 is small enough to transcribe exactly; it anchors the test suite with
+// known-good behaviour (4 primary inputs, 1 primary output, 3 flip-flops).
+#pragma once
+
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// .bench source text of s27.
+std::string_view s27_bench_text();
+
+/// Parsed, finalized s27 netlist.
+Netlist make_s27();
+
+}  // namespace fbt

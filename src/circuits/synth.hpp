@@ -1,0 +1,44 @@
+// Deterministic synthetic sequential-circuit generator.
+//
+// Stands in for benchmark netlists we cannot embed verbatim (see DESIGN.md,
+// Substitutions #1). Given interface parameters (N_PI, N_PO, N_FF) and a gate
+// budget, it builds a seeded random DAG with the structural character that the
+// dissertation's experiments depend on: reconvergent fanout, mixed gate types
+// (including some parity logic, which is random-pattern resistant), input
+// logic cones that consume every primary input and state variable, deep
+// next-state logic, and negligible dead logic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Interface + size parameters of a synthetic circuit.
+struct SynthParams {
+  std::string name;
+  std::size_t num_inputs = 1;
+  std::size_t num_outputs = 1;
+  std::size_t num_flops = 0;
+  std::size_t num_gates = 16;   ///< combinational gate budget
+  std::uint64_t seed = 1;
+  /// Fraction (percent) of XOR/XNOR gates; parity logic resists random
+  /// patterns and so controls how hard the circuit is for BIST.
+  unsigned parity_percent = 6;
+  /// Maximum logic depth (levels). 0 selects an ISCAS-like automatic depth
+  /// of max(10, min(28, num_gates / 120)). Without a cap, random DAGs grow
+  /// chains far deeper than real benchmark circuits, which makes long paths
+  /// structurally untestable and distorts every path-based experiment.
+  unsigned max_depth = 0;
+};
+
+/// Builds and finalizes a synthetic circuit. Deterministic in `params`.
+Netlist generate_synthetic(const SynthParams& params);
+
+/// Builds the "buffers" driving block of §4.6: `width` primary inputs buffered
+/// straight to `width` primary outputs (imposes no input constraints).
+Netlist make_buffers_block(std::size_t width);
+
+}  // namespace fbt

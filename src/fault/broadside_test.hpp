@@ -1,0 +1,33 @@
+// Broadside (launch-on-capture) two-pattern test (dissertation §1.3).
+//
+// A broadside test is <s1, v1, s2, v2> where s2 is the circuit's response to
+// <s1, v1>; only s1, v1, v2 are free. A *functional* broadside test is one
+// whose s1 is a reachable state (§4.1), which the BIST flow guarantees by
+// construction (tests are cut out of a functional-mode state trajectory).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+struct BroadsideTest {
+  std::vector<std::uint8_t> scan_state;  ///< s1, one value per flop
+  std::vector<std::uint8_t> v1;          ///< primary inputs, first pattern
+  std::vector<std::uint8_t> v2;          ///< primary inputs, second pattern
+  /// When nonempty, the state under the second pattern is this vector instead
+  /// of the circuit's response to <s1, v1>. State holding (§4.5) produces
+  /// such tests: held state variables make s2 deviate from the broadside
+  /// response (that is how unreachable states are introduced).
+  std::vector<std::uint8_t> state2_override;
+};
+
+using TestSet = std::vector<BroadsideTest>;
+
+/// Computes s2 (the state under the second pattern) for a test.
+std::vector<std::uint8_t> second_state(const Netlist& netlist,
+                                       const BroadsideTest& test);
+
+}  // namespace fbt

@@ -1,0 +1,73 @@
+#include "fault/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "fault/fault_sim.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+FaultDictionary::FaultDictionary(const Netlist& netlist, const TestSet& tests,
+                                 const TransitionFaultList& faults)
+    : num_tests_(tests.size()) {
+  BroadsideFaultSim sim(netlist);
+  rows_ = sim.detection_matrix(tests, faults);
+}
+
+std::vector<std::size_t> FaultDictionary::failing_tests(
+    std::size_t fault_index) const {
+  require(fault_index < rows_.size(), "FaultDictionary::failing_tests",
+          "fault index out of range");
+  std::vector<std::size_t> failing;
+  for (std::size_t w = 0; w < rows_[fault_index].size(); ++w) {
+    std::uint64_t bits = rows_[fault_index][w];
+    while (bits != 0) {
+      const int b = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      failing.push_back(64 * w + static_cast<std::size_t>(b));
+    }
+  }
+  return failing;
+}
+
+std::vector<std::uint8_t> FaultDictionary::observation_for(
+    std::size_t fault_index) const {
+  std::vector<std::uint8_t> obs(num_tests_, 0);
+  for (const std::size_t t : failing_tests(fault_index)) obs[t] = 1;
+  return obs;
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::diagnose(
+    const std::vector<std::uint8_t>& observed, std::size_t top_k) const {
+  require(observed.size() == num_tests_, "FaultDictionary::diagnose",
+          "observation size must equal the test count");
+  // Pack the observation for word-wise comparison.
+  const std::size_t words = (num_tests_ + 63) / 64;
+  std::vector<std::uint64_t> obs(words, 0);
+  for (std::size_t t = 0; t < num_tests_; ++t) {
+    if (observed[t]) obs[t / 64] |= 1ULL << (t % 64);
+  }
+
+  std::vector<Candidate> candidates(rows_.size());
+  for (std::size_t f = 0; f < rows_.size(); ++f) {
+    Candidate& c = candidates[f];
+    c.fault_index = f;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t predicted = rows_[f][w];
+      c.mispredicted_fail += static_cast<std::size_t>(
+          __builtin_popcountll(predicted & ~obs[w]));
+      c.unexplained_fail += static_cast<std::size_t>(
+          __builtin_popcountll(obs[w] & ~predicted));
+    }
+    c.score = c.mispredicted_fail + c.unexplained_fail;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.fault_index < b.fault_index;
+            });
+  if (candidates.size() > top_k) candidates.resize(top_k);
+  return candidates;
+}
+
+}  // namespace fbt

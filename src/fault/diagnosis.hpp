@@ -1,0 +1,53 @@
+// Fault dictionary and diagnosis (§4.1's motivation: "detecting such faults
+// can be important for failure diagnosis and process improvement").
+//
+// The dictionary stores, per modelled transition fault, the set of tests of
+// a given test set that detect it (one row of the detection matrix). Given
+// the failing-test set observed on a defective part, diagnosis ranks the
+// modelled faults by agreement: a candidate is penalized for every predicted
+// failure that passed (strong evidence against, under full-observability
+// assumptions) and for every observed failure it does not predict.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/broadside_test.hpp"
+#include "fault/fault.hpp"
+
+namespace fbt {
+
+class FaultDictionary {
+ public:
+  /// Builds the dictionary by simulating every fault under every test.
+  FaultDictionary(const Netlist& netlist, const TestSet& tests,
+                  const TransitionFaultList& faults);
+
+  std::size_t num_tests() const { return num_tests_; }
+  std::size_t num_faults() const { return rows_.size(); }
+
+  /// Tests (indices) predicted to fail under fault `f`.
+  std::vector<std::size_t> failing_tests(std::size_t fault_index) const;
+
+  /// The observed failing-test set a part with fault `f` would show (used by
+  /// tests and the example to synthesize observations).
+  std::vector<std::uint8_t> observation_for(std::size_t fault_index) const;
+
+  struct Candidate {
+    std::size_t fault_index = 0;
+    std::size_t mispredicted_fail = 0;  ///< predicted fail, observed pass
+    std::size_t unexplained_fail = 0;   ///< observed fail, not predicted
+    std::size_t score = 0;              ///< mispredicted + unexplained
+  };
+
+  /// Ranks all faults by ascending score against an observation (one 0/1
+  /// entry per test; 1 = failed). Ties broken by fault index.
+  std::vector<Candidate> diagnose(const std::vector<std::uint8_t>& observed,
+                                  std::size_t top_k = 10) const;
+
+ private:
+  std::size_t num_tests_ = 0;
+  std::vector<std::vector<std::uint64_t>> rows_;  ///< per fault, test bitmask
+};
+
+}  // namespace fbt

@@ -1,0 +1,73 @@
+#include "fault/fault.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+bool eligible_line(const Netlist& netlist, NodeId id) {
+  const GateType t = netlist.type(id);
+  return t != GateType::kConst0 && t != GateType::kConst1;
+}
+
+std::vector<TransitionFault> all_faults(const Netlist& netlist) {
+  std::vector<TransitionFault> faults;
+  faults.reserve(2 * netlist.size());
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    if (!eligible_line(netlist, id)) continue;
+    faults.push_back({id, true});
+    faults.push_back({id, false});
+  }
+  return faults;
+}
+
+}  // namespace
+
+std::string fault_name(const Netlist& netlist, const TransitionFault& fault) {
+  return netlist.gate(fault.line).name + (fault.rising ? "/STR" : "/STF");
+}
+
+TransitionFaultList TransitionFaultList::uncollapsed(const Netlist& netlist) {
+  require(netlist.finalized(), "TransitionFaultList",
+          "netlist must be finalized");
+  TransitionFaultList list;
+  list.faults_ = all_faults(netlist);
+  return list;
+}
+
+TransitionFaultList TransitionFaultList::collapsed(const Netlist& netlist) {
+  require(netlist.finalized(), "TransitionFaultList",
+          "netlist must be finalized");
+  // A BUF/NOT output fault collapses onto its fanin's fault when the fanin
+  // drives nothing else (single fanout): the pair is indistinguishable at
+  // every observation point. Representative = the driver (fanin side).
+  TransitionFaultList list;
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    if (!eligible_line(netlist, id)) continue;
+    const Gate& g = netlist.gate(id);
+    const bool collapses =
+        (g.type == GateType::kBuf || g.type == GateType::kNot) &&
+        netlist.fanouts(g.fanins[0]).size() == 1 &&
+        eligible_line(netlist, g.fanins[0]) && !netlist.is_output(g.fanins[0]);
+    if (collapses) continue;  // represented by the fault on the fanin
+    list.faults_.push_back({id, true});
+    list.faults_.push_back({id, false});
+  }
+  return list;
+}
+
+TransitionFaultList TransitionFaultList::from_faults(
+    std::vector<TransitionFault> faults) {
+  TransitionFaultList list;
+  list.faults_ = std::move(faults);
+  return list;
+}
+
+std::size_t TransitionFaultList::index_of(const TransitionFault& fault) const {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (faults_[i] == fault) return i;
+  }
+  return npos;
+}
+
+}  // namespace fbt

@@ -1,0 +1,59 @@
+// Transition fault model (dissertation §1.1) and fault-list management.
+//
+// A transition fault is a slow-to-rise (STR) or slow-to-fall (STF) defect on
+// one circuit line. Under a broadside test it is detected when the line holds
+// the initial transition value under the first pattern and the corresponding
+// stuck-at fault (stuck at the initial value) is detected under the second
+// pattern (§1.2-§1.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+struct TransitionFault {
+  NodeId line = kNoNode;
+  bool rising = true;  ///< true: slow-to-rise (0->1); false: slow-to-fall.
+
+  bool operator==(const TransitionFault&) const = default;
+};
+
+/// Human-readable fault name, e.g. "g12/STR".
+std::string fault_name(const Netlist& netlist, const TransitionFault& fault);
+
+/// Fault list with structural equivalence collapsing across buffer/inverter
+/// chains (a fault on the single fanin of a BUF/NOT with no other fanout is
+/// equivalent to the fault on its output, with polarity flipped through NOT).
+class TransitionFaultList {
+ public:
+  /// Full collapsed fault list: two faults per line (primary inputs, gate
+  /// outputs, and state variables; constants excluded), collapsed.
+  static TransitionFaultList collapsed(const Netlist& netlist);
+
+  /// Uncollapsed list (two faults per eligible line).
+  static TransitionFaultList uncollapsed(const Netlist& netlist);
+
+  /// List holding exactly `faults` (caller-specified subset, e.g. the
+  /// transition faults along a set of paths).
+  static TransitionFaultList from_faults(std::vector<TransitionFault> faults);
+
+  std::size_t size() const { return faults_.size(); }
+  const TransitionFault& fault(std::size_t index) const {
+    return faults_[index];
+  }
+  const std::vector<TransitionFault>& faults() const { return faults_; }
+
+  /// Index of a fault within this list, or npos when the fault was collapsed
+  /// away or is not eligible.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(const TransitionFault& fault) const;
+
+ private:
+  std::vector<TransitionFault> faults_;
+};
+
+}  // namespace fbt

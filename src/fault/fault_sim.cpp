@@ -1,0 +1,160 @@
+#include "fault/fault_sim.hpp"
+
+#include "sim/value.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::vector<std::uint8_t> second_state(const Netlist& netlist,
+                                       const BroadsideTest& test) {
+  require(test.scan_state.size() == netlist.num_flops(), "second_state",
+          "scan state size mismatch");
+  require(test.v1.size() == netlist.num_inputs(), "second_state",
+          "v1 size mismatch");
+  BitSim sim(netlist);
+  for (std::size_t i = 0; i < netlist.num_inputs(); ++i) {
+    sim.set_value(netlist.inputs()[i], test.v1[i] ? ~0ULL : 0);
+  }
+  for (std::size_t i = 0; i < netlist.num_flops(); ++i) {
+    sim.set_value(netlist.flops()[i], test.scan_state[i] ? ~0ULL : 0);
+  }
+  sim.eval();
+  std::vector<std::uint8_t> s2(netlist.num_flops());
+  for (std::size_t i = 0; i < netlist.num_flops(); ++i) {
+    s2[i] = sim.value(netlist.dff_input(netlist.flops()[i])) & 1u;
+  }
+  return s2;
+}
+
+BroadsideFaultSim::BroadsideFaultSim(const Netlist& netlist)
+    : netlist_(&netlist), sim_(netlist) {
+  v1_values_.assign(netlist.size(), 0);
+  state2_.assign(netlist.num_flops(), 0);
+}
+
+void BroadsideFaultSim::load_block(std::span<const BroadsideTest> tests,
+                                   std::size_t first, std::size_t count) {
+  require(count >= 1 && count <= 64, "BroadsideFaultSim", "bad block size");
+  block_mask_ = count == 64 ? ~0ULL : ((1ULL << count) - 1);
+  // Frame 1: sources are <s1, v1>.
+  for (std::size_t i = 0; i < netlist_->num_inputs(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t t = 0; t < count; ++t) {
+      if (tests[first + t].v1[i]) word |= 1ULL << t;
+    }
+    sim_.set_value(netlist_->inputs()[i], word);
+  }
+  for (std::size_t i = 0; i < netlist_->num_flops(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t t = 0; t < count; ++t) {
+      if (tests[first + t].scan_state[i]) word |= 1ULL << t;
+    }
+    sim_.set_value(netlist_->flops()[i], word);
+  }
+  sim_.eval();
+  for (NodeId id = 0; id < netlist_->size(); ++id) {
+    v1_values_[id] = sim_.value(id);
+  }
+  sim_.next_state(state2_);
+
+  // State-holding tests override s2 per test (see BroadsideTest).
+  for (std::size_t t = 0; t < count; ++t) {
+    const auto& ovr = tests[first + t].state2_override;
+    if (ovr.empty()) continue;
+    require(ovr.size() == netlist_->num_flops(), "BroadsideFaultSim",
+            "state2_override size mismatch");
+    const std::uint64_t bit = 1ULL << t;
+    for (std::size_t i = 0; i < netlist_->num_flops(); ++i) {
+      if (ovr[i]) {
+        state2_[i] |= bit;
+      } else {
+        state2_[i] &= ~bit;
+      }
+    }
+  }
+
+  // Frame 2: sources are <s2, v2>.
+  for (std::size_t i = 0; i < netlist_->num_inputs(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t t = 0; t < count; ++t) {
+      if (tests[first + t].v2[i]) word |= 1ULL << t;
+    }
+    sim_.set_value(netlist_->inputs()[i], word);
+  }
+  for (std::size_t i = 0; i < netlist_->num_flops(); ++i) {
+    sim_.set_value(netlist_->flops()[i], state2_[i]);
+  }
+  sim_.eval();
+}
+
+std::uint64_t BroadsideFaultSim::fault_mask(const TransitionFault& fault) {
+  const std::uint64_t w1 = v1_values_[fault.line];
+  const std::uint64_t w2 = sim_.value(fault.line);
+  // Launch: line holds the initial value under p1 and the final value under
+  // p2 (fault-free). STR initial value 0, STF initial value 1.
+  const std::uint64_t active =
+      block_mask_ & (fault.rising ? (~w1 & w2) : (w1 & ~w2));
+  if (active == 0) return 0;
+  // Fault effect in frame 2: stuck at the initial value.
+  const std::uint64_t forced = fault.rising ? 0 : ~0ULL;
+  return active & sim_.fault_propagate(fault.line, forced);
+}
+
+std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
+                                     const TransitionFaultList& faults,
+                                     std::span<std::uint32_t> detect_count,
+                                     std::uint32_t detect_limit) {
+  require(detect_count.size() == faults.size(), "BroadsideFaultSim::grade",
+          "detect_count size must equal the fault count");
+  require(detect_limit >= 1, "BroadsideFaultSim::grade",
+          "detect_limit must be >= 1");
+  std::size_t newly_complete = 0;
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    // Skip blocks early when every fault is already done.
+    bool any_pending = false;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detect_count[f] < detect_limit) {
+        any_pending = true;
+        break;
+      }
+    }
+    if (!any_pending) break;
+    load_block(tests, first, count);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detect_count[f] >= detect_limit) continue;
+      const std::uint64_t mask = fault_mask(faults.fault(f));
+      if (mask == 0) continue;
+      const auto hits = static_cast<std::uint32_t>(__builtin_popcountll(mask));
+      const std::uint32_t before = detect_count[f];
+      detect_count[f] = std::min(detect_limit, before + hits);
+      if (before < detect_limit && detect_count[f] >= detect_limit) {
+        ++newly_complete;
+      }
+    }
+  }
+  return newly_complete;
+}
+
+std::vector<std::vector<std::uint64_t>> BroadsideFaultSim::detection_matrix(
+    std::span<const BroadsideTest> tests, const TransitionFaultList& faults) {
+  const std::size_t words = (tests.size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> matrix(
+      faults.size(), std::vector<std::uint64_t>(words, 0));
+  for (std::size_t first = 0; first < tests.size(); first += 64) {
+    const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
+    load_block(tests, first, count);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      matrix[f][first / 64] = fault_mask(faults.fault(f));
+    }
+  }
+  return matrix;
+}
+
+bool BroadsideFaultSim::detects(const BroadsideTest& test,
+                                const TransitionFault& fault) {
+  load_block(std::span(&test, 1), 0, 1);
+  return (fault_mask(fault) & 1ULL) != 0;
+}
+
+}  // namespace fbt

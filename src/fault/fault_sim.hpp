@@ -1,0 +1,59 @@
+// Bit-parallel broadside transition-fault simulator.
+//
+// Simulates 64 two-pattern tests at a time: frame 1 establishes launch values
+// and the captured state s2; frame 2 checks stuck-at-initial-value detection
+// via event-driven single-fault propagation to the primary outputs and the
+// flip-flop D inputs. Supports fault dropping (n-detect) for test-set grading
+// and a full per-test detection matrix for the transition-path-delay-fault
+// engine of Chapter 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/broadside_test.hpp"
+#include "fault/fault.hpp"
+#include "sim/bitsim.hpp"
+
+namespace fbt {
+
+class BroadsideFaultSim {
+ public:
+  explicit BroadsideFaultSim(const Netlist& netlist);
+
+  /// Grades `tests` against `faults` with fault dropping: a fault whose
+  /// detection count in `detect_count` reaches `detect_limit` is skipped.
+  /// Updates `detect_count` in place and returns the number of faults whose
+  /// count first reached `detect_limit` during this call.
+  std::size_t grade(std::span<const BroadsideTest> tests,
+                    const TransitionFaultList& faults,
+                    std::span<std::uint32_t> detect_count,
+                    std::uint32_t detect_limit = 1);
+
+  /// Per-test detection bits for every fault (no dropping). Row f holds
+  /// ceil(tests/64) words; bit t of word t/64 is 1 when test t detects fault
+  /// f. Intended for small test sets (Chapter-2 engine).
+  std::vector<std::vector<std::uint64_t>> detection_matrix(
+      std::span<const BroadsideTest> tests, const TransitionFaultList& faults);
+
+  /// Single-query convenience: does `test` detect `fault`?
+  bool detects(const BroadsideTest& test, const TransitionFault& fault);
+
+ private:
+  // Loads up to 64 tests into the simulator, evaluates both frames, and
+  // leaves frame-1 values in v1_ and frame-2 values in the BitSim.
+  void load_block(std::span<const BroadsideTest> tests, std::size_t first,
+                  std::size_t count);
+
+  // Detection mask of `fault` over the currently loaded block.
+  std::uint64_t fault_mask(const TransitionFault& fault);
+
+  const Netlist* netlist_;
+  BitSim sim_;
+  std::vector<std::uint64_t> v1_values_;  // frame-1 value words per node
+  std::vector<std::uint64_t> state2_;     // captured state words per flop
+  std::uint64_t block_mask_ = 0;          // valid-pattern bits of the block
+};
+
+}  // namespace fbt

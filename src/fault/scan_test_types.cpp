@@ -1,0 +1,52 @@
+#include "fault/scan_test_types.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+BroadsideTest make_skewed_load_test(const Netlist& netlist,
+                                    const ScanChains& scan,
+                                    std::span<const std::uint8_t> s1,
+                                    std::span<const std::uint8_t> scan_in_bits,
+                                    std::span<const std::uint8_t> v1,
+                                    std::span<const std::uint8_t> v2) {
+  require(s1.size() == netlist.num_flops(), "make_skewed_load_test",
+          "s1 size mismatch");
+  require(scan_in_bits.size() == scan.num_chains(), "make_skewed_load_test",
+          "one scan-in bit per chain required");
+  BroadsideTest test;
+  test.scan_state.assign(s1.begin(), s1.end());
+  test.v1.assign(v1.begin(), v1.end());
+  test.v2.assign(v2.begin(), v2.end());
+  test.state2_override.assign(s1.begin(), s1.end());
+
+  // One shift: within each chain, position i takes position i-1's value and
+  // position 0 takes the scan-in bit. Flop order inside ScanChains matches
+  // netlist flop order, chains laid out consecutively.
+  std::size_t base = 0;
+  for (std::size_t c = 0; c < scan.num_chains(); ++c) {
+    const std::size_t len = scan.chain(c).size();
+    for (std::size_t i = len; i-- > 1;) {
+      test.state2_override[base + i] = s1[base + i - 1];
+    }
+    if (len > 0) test.state2_override[base] = scan_in_bits[c];
+    base += len;
+  }
+  return test;
+}
+
+BroadsideTest make_enhanced_scan_test(std::span<const std::uint8_t> s1,
+                                      std::span<const std::uint8_t> s2,
+                                      std::span<const std::uint8_t> v1,
+                                      std::span<const std::uint8_t> v2) {
+  require(s1.size() == s2.size(), "make_enhanced_scan_test",
+          "state sizes must match");
+  BroadsideTest test;
+  test.scan_state.assign(s1.begin(), s1.end());
+  test.v1.assign(v1.begin(), v1.end());
+  test.v2.assign(v2.begin(), v2.end());
+  test.state2_override.assign(s2.begin(), s2.end());
+  return test;
+}
+
+}  // namespace fbt

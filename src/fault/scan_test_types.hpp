@@ -1,0 +1,43 @@
+// The three scan-based two-pattern test types of dissertation §1.3.
+//
+//  * enhanced scan  -- s1 and s2 are independent (special two-bit scan cells),
+//  * skewed load    -- s2 is a one-bit shift of s1 through the scan chains,
+//  * broadside      -- s2 is the circuit's response to <s1, v1>.
+//
+// All three reduce to a BroadsideTest record: enhanced-scan and skewed-load
+// tests carry their s2 in state2_override, broadside tests leave it empty.
+// This makes the single fault simulator grade all three, which is how the
+// coverage comparison of the three styles (bench_scan_types) is produced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fault/broadside_test.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+enum class ScanTestType : std::uint8_t {
+  kBroadside,
+  kSkewedLoad,
+  kEnhancedScan,
+};
+
+/// Builds a skewed-load test: s2[chain position 0] = scan_in_bits[chain],
+/// s2[position i] = s1[position i-1] within each chain. `scan_in_bits` has
+/// one entry per chain (the bit shifted in during the launch shift).
+BroadsideTest make_skewed_load_test(const Netlist& netlist,
+                                    const ScanChains& scan,
+                                    std::span<const std::uint8_t> s1,
+                                    std::span<const std::uint8_t> scan_in_bits,
+                                    std::span<const std::uint8_t> v1,
+                                    std::span<const std::uint8_t> v2);
+
+/// Builds an enhanced-scan test with fully independent states.
+BroadsideTest make_enhanced_scan_test(std::span<const std::uint8_t> s1,
+                                      std::span<const std::uint8_t> s2,
+                                      std::span<const std::uint8_t> v1,
+                                      std::span<const std::uint8_t> v2);
+
+}  // namespace fbt

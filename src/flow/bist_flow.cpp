@@ -1,0 +1,140 @@
+#include "flow/bist_flow.hpp"
+
+#include <algorithm>
+
+#include "circuits/registry.hpp"
+#include "circuits/synth.hpp"
+#include "fault/compaction.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
+  Netlist target = load_benchmark(config.target_name);
+  const bool unconstrained =
+      config.driver_name.empty() || config.driver_name == "buffers";
+  Netlist driver = unconstrained ? make_buffers_block(target.num_inputs())
+                                 : load_benchmark(config.driver_name);
+
+  // Calibrate SWA_func. The TPG is built for the driving block inside
+  // measure_swa_func; for the buffers block that reduces to unbiased patterns
+  // straight into the target, giving the unconstrained peak (§4.6).
+  const SwaCalibration cal =
+      measure_swa_func(target, driver, config.calibration);
+
+  FunctionalBistConfig gen = config.generation;
+  gen.swa_bound_percent = cal.peak_percent;
+  gen.bounded = !unconstrained;
+
+  ScanChains scan(target, config.scan);
+  BistExperimentResult result{.target = std::move(target),
+                              .scan = std::move(scan),
+                              .faults = {},
+                              .detect_count = {},
+                              .swa_func = cal.peak_percent,
+                              .run = {},
+                              .detected = 0,
+                              .fault_coverage_percent = 0.0,
+                              .hw_area = 0.0,
+                              .circuit_area_um2 = 0.0,
+                              .overhead_percent = 0.0,
+                              .nsp = 0,
+                              .generation = gen};
+  result.faults = TransitionFaultList::collapsed(result.target);
+  result.detect_count.assign(result.faults.size(), 0);
+
+  FunctionalBistGenerator generator(result.target, gen);
+  result.nsp = generator.tpg().cube().specified_count();
+  result.run = generator.run(result.faults, result.detect_count);
+  result.seeds_before_reduction = result.run.num_seeds;
+  result.sequences_before_reduction = result.run.sequences.size();
+
+  if (config.reduce_sequences && result.run.sequences.size() > 1) {
+    // Map each test to its multi-segment sequence and drop sequences that
+    // detect nothing new (forward-looking fault simulation, §4.3/[89]).
+    // Only whole sequences may be dropped: segments within a sequence share
+    // one state trajectory.
+    std::vector<std::size_t> group_of;
+    group_of.reserve(result.run.tests.size());
+    for (std::size_t s = 0; s < result.run.sequences.size(); ++s) {
+      std::size_t tests_in_sequence = 0;
+      for (const SegmentRecord& seg : result.run.sequences[s].segments) {
+        tests_in_sequence += seg.num_tests;
+      }
+      group_of.insert(group_of.end(), tests_in_sequence, s);
+    }
+    require(group_of.size() == result.run.tests.size(), "run_bist_experiment",
+            "internal: test/sequence bookkeeping mismatch");
+    const std::vector<std::size_t> kept =
+        reduce_groups(result.target, result.run.tests, result.faults,
+                      group_of, result.run.sequences.size());
+    if (kept.size() < result.run.sequences.size()) {
+      FunctionalBistResult reduced;
+      reduced.newly_detected = result.run.newly_detected;
+      reduced.peak_swa = result.run.peak_swa;
+      for (std::size_t t = 0; t < result.run.tests.size(); ++t) {
+        if (std::find(kept.begin(), kept.end(), group_of[t]) != kept.end()) {
+          reduced.tests.push_back(std::move(result.run.tests[t]));
+        }
+      }
+      for (const std::size_t s : kept) {
+        reduced.sequences.push_back(std::move(result.run.sequences[s]));
+        for (const SegmentRecord& seg : reduced.sequences.back().segments) {
+          reduced.lmax = std::max(reduced.lmax, seg.length);
+          ++reduced.num_seeds;
+        }
+        reduced.nseg_max = std::max(reduced.nseg_max,
+                                    reduced.sequences.back().segments.size());
+      }
+      reduced.num_tests = reduced.tests.size();
+      result.run = std::move(reduced);
+    }
+  }
+
+  result.detected = 0;
+  for (const std::uint32_t c : result.detect_count) {
+    if (c >= gen.detect_limit) ++result.detected;
+  }
+  result.fault_coverage_percent =
+      result.faults.size() == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(result.detected) /
+                static_cast<double>(result.faults.size());
+
+  const BistHardwarePlan plan =
+      plan_functional_bist_hardware(generator.tpg(), result.scan, result.run);
+  result.hw_area = bist_area(plan);
+  result.circuit_area_um2 = circuit_area(result.target);
+  result.overhead_percent =
+      100.0 * result.hw_area / result.circuit_area_um2;
+  return result;
+}
+
+HoldExperimentResult run_hold_experiment(BistExperimentResult& base,
+                                         const HoldSelectionConfig& config,
+                                         std::uint64_t rng_seed) {
+  HoldExperimentResult out;
+  const std::size_t before = base.detected;
+  out.hold = select_and_run_hold_sets(base.target, base.faults,
+                                      base.detect_count, config, rng_seed);
+
+  std::size_t detected = 0;
+  for (const std::uint32_t c : base.detect_count) {
+    if (c >= config.commit.detect_limit) ++detected;
+  }
+  out.detected_total = detected;
+  const double total = static_cast<double>(base.faults.size());
+  out.final_coverage_percent = total == 0 ? 0.0 : 100.0 * detected / total;
+  out.coverage_improvement_percent =
+      total == 0 ? 0.0
+                 : 100.0 * static_cast<double>(detected - before) / total;
+
+  Tpg tpg(base.target, base.generation.tpg);
+  const BistHardwarePlan plan =
+      plan_hold_bist_hardware(tpg, base.scan, base.run, out.hold);
+  out.hw_area = bist_area(plan);
+  out.overhead_percent = 100.0 * out.hw_area / base.circuit_area_um2;
+  return out;
+}
+
+}  // namespace fbt

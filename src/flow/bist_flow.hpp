@@ -1,0 +1,70 @@
+// End-to-end experiment driver for the built-in functional broadside test
+// generation flow (dissertation §4.6): load target + driving block, calibrate
+// SWA_func from functional input sequences, construct multi-segment primary
+// input sequences on-chip, grade transition-fault coverage, and cost the
+// hardware. Shared by bench_table4_* and the examples.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bist/embedded.hpp"
+#include "bist/functional_bist.hpp"
+#include "bist/hardware_plan.hpp"
+#include "bist/state_holding.hpp"
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+struct BistExperimentConfig {
+  std::string target_name;
+  /// Driving block name; empty selects the unconstrained "buffers" block.
+  std::string driver_name;
+  SwaCalibrationConfig calibration;
+  FunctionalBistConfig generation;  ///< L, R, Q, seeds; swa bound filled in
+  ScanConfig scan;
+  /// §4.3's seed-set reduction: after construction, drop whole multi-segment
+  /// sequences whose tests detect nothing the kept sequences miss
+  /// (forward-looking fault simulation over sequence groups).
+  bool reduce_sequences = true;
+};
+
+struct BistExperimentResult {
+  Netlist target;            ///< the circuit under test (owned copy)
+  ScanChains scan;           ///< scan-chain partition (Lsc)
+  TransitionFaultList faults;
+  std::vector<std::uint32_t> detect_count;  ///< per fault after generation
+  double swa_func = 0.0;     ///< calibrated bound (percent)
+  FunctionalBistResult run;  ///< after sequence reduction (when enabled)
+  std::size_t seeds_before_reduction = 0;
+  std::size_t sequences_before_reduction = 0;
+  std::size_t detected = 0;
+  double fault_coverage_percent = 0.0;
+  double hw_area = 0.0;
+  double circuit_area_um2 = 0.0;
+  double overhead_percent = 0.0;
+  std::size_t nsp = 0;       ///< specified inputs in the cube (Table 4.2)
+  FunctionalBistConfig generation;  ///< the exact config used (bound filled)
+};
+
+/// Runs calibration + constrained (or unconstrained, when driver is
+/// "buffers"/empty) built-in generation.
+BistExperimentResult run_bist_experiment(const BistExperimentConfig& config);
+
+struct HoldExperimentResult {
+  HoldSelectionResult hold;
+  std::size_t detected_total = 0;
+  double coverage_improvement_percent = 0.0;
+  double final_coverage_percent = 0.0;
+  double hw_area = 0.0;
+  double overhead_percent = 0.0;
+};
+
+/// Continues a finished experiment with the state-holding phase (Table 4.4).
+HoldExperimentResult run_hold_experiment(BistExperimentResult& base,
+                                         const HoldSelectionConfig& config,
+                                         std::uint64_t rng_seed);
+
+}  // namespace fbt

@@ -1,0 +1,78 @@
+#include "multiclock/clock_domains.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+ClockDomains::ClockDomains(const Netlist& netlist,
+                           std::vector<std::uint8_t> slow_flops,
+                           unsigned divider)
+    : netlist_(&netlist), slow_flops_(std::move(slow_flops)),
+      divider_(divider) {
+  require(netlist.finalized(), "ClockDomains", "netlist must be finalized");
+  require(slow_flops_.size() == netlist.num_flops(), "ClockDomains",
+          "slow_flops must have one entry per flop");
+  require(divider_ >= 2, "ClockDomains", "divider must be >= 2");
+  for (const std::uint8_t s : slow_flops_) num_slow_ += (s != 0);
+
+  const std::size_t n = netlist.size();
+  fed_by_slow_.assign(n, 0);
+  fed_by_fast_.assign(n, 0);
+  feeds_slow_.assign(n, 0);
+  feeds_fast_.assign(n, 0);
+
+  // Forward reachability (launch side). Primary inputs count as fast-rate
+  // sources (they may change every fast cycle).
+  for (std::size_t i = 0; i < netlist.num_flops(); ++i) {
+    (is_slow(i) ? fed_by_slow_ : fed_by_fast_)[netlist.flops()[i]] = 1;
+  }
+  for (const NodeId pi : netlist.inputs()) fed_by_fast_[pi] = 1;
+  for (const NodeId id : netlist.eval_order()) {
+    for (const NodeId f : netlist.gate(id).fanins) {
+      fed_by_slow_[id] |= fed_by_slow_[f];
+      fed_by_fast_[id] |= fed_by_fast_[f];
+    }
+  }
+
+  // Backward reachability (capture side). Primary outputs are sampled at the
+  // fast rate.
+  for (std::size_t i = 0; i < netlist.num_flops(); ++i) {
+    (is_slow(i) ? feeds_slow_ : feeds_fast_)[netlist.dff_input(
+        netlist.flops()[i])] |= 1;
+  }
+  for (const NodeId po : netlist.outputs()) feeds_fast_[po] = 1;
+  const auto& order = netlist.eval_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (const NodeId f : netlist.gate(*it).fanins) {
+      feeds_slow_[f] |= feeds_slow_[*it];
+      feeds_fast_[f] |= feeds_fast_[*it];
+    }
+  }
+}
+
+ClockDomains ClockDomains::split_by_index(const Netlist& netlist,
+                                          unsigned slow_fraction_percent,
+                                          unsigned divider) {
+  require(slow_fraction_percent <= 100, "ClockDomains::split_by_index",
+          "percentage must be <= 100");
+  const std::size_t nff = netlist.num_flops();
+  const std::size_t slow =
+      nff * slow_fraction_percent / 100;
+  std::vector<std::uint8_t> mask(nff, 0);
+  for (std::size_t i = nff - slow; i < nff; ++i) mask[i] = 1;
+  return ClockDomains(netlist, std::move(mask), divider);
+}
+
+ClockDomains::FaultSpan ClockDomains::classify(NodeId line) const {
+  const bool launch_slow = fed_by_slow_[line] != 0;
+  const bool launch_fast = fed_by_fast_[line] != 0;
+  const bool capture_slow = feeds_slow_[line] != 0;
+  const bool capture_fast = feeds_fast_[line] != 0;
+  if (!launch_slow && !capture_slow) return FaultSpan::kIntraFast;
+  if (!launch_fast && !capture_fast) return FaultSpan::kIntraSlow;
+  return FaultSpan::kCrossing;
+}
+
+}  // namespace fbt

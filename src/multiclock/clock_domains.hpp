@@ -1,0 +1,72 @@
+// Multi-clock-domain circuit model (dissertation §5.1 future work).
+//
+// "For circuits with multiple clock domains, the frequency difference
+// between clock domains must be taken into account during on-chip test
+// generation. The clock domains should operate at their own speeds so that
+// reachable states can be obtained properly. In addition, multi-cycle tests
+// may be needed to detect both intra-clock-domain and inter-clock-domain
+// faults."
+//
+// This module implements that extension in its simplest faithful form: two
+// domains, a fast one and a slow one whose clock ticks once every `divider`
+// fast cycles (a synchronous divided clock, so the composite machine stays
+// deterministic). Each flip-flop belongs to one domain; combinational logic
+// is shared. Faults are classified by the domains their launch/capture logic
+// spans, and the sequence-based fault simulator applies multi-cycle stimuli
+// so that slow-domain captures are observed on their own clock edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+class ClockDomains {
+ public:
+  /// Assigns each flop to a domain: `slow_flops[i]` nonzero puts flop i in
+  /// the slow domain. `divider` >= 2 is the fast:slow frequency ratio.
+  ClockDomains(const Netlist& netlist, std::vector<std::uint8_t> slow_flops,
+               unsigned divider);
+
+  /// Convenience: the last `slow_fraction_percent` % of flops are slow
+  /// (deterministic, mirrors how register files cluster in real designs).
+  static ClockDomains split_by_index(const Netlist& netlist,
+                                     unsigned slow_fraction_percent,
+                                     unsigned divider);
+
+  const Netlist& netlist() const { return *netlist_; }
+  unsigned divider() const { return divider_; }
+  bool is_slow(std::size_t flop_index) const {
+    return slow_flops_[flop_index] != 0;
+  }
+  std::size_t num_slow() const { return num_slow_; }
+
+  /// True when the slow clock captures at the end of fast cycle `cycle`
+  /// (cycle counting from 0; the slow edge lands every `divider` cycles, on
+  /// cycles divider-1, 2*divider-1, ...).
+  bool slow_capture_at(std::size_t cycle) const {
+    return (cycle % divider_) == divider_ - 1;
+  }
+
+  /// Fault-site classification by the clock domains of the flops in the
+  /// site's structural fan-in (launch side) and fan-out (capture side).
+  enum class FaultSpan : std::uint8_t {
+    kIntraFast,  ///< launched and captured by fast-domain logic only
+    kIntraSlow,  ///< slow-domain only
+    kCrossing,   ///< paths cross the domain boundary
+  };
+  FaultSpan classify(NodeId line) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<std::uint8_t> slow_flops_;  // per flop index
+  unsigned divider_;
+  std::size_t num_slow_ = 0;
+  // Per node: reachable-from-slow-flop / reaches-slow-flop (and fast dito).
+  std::vector<std::uint8_t> fed_by_slow_, fed_by_fast_;
+  std::vector<std::uint8_t> feeds_slow_, feeds_fast_;
+};
+
+}  // namespace fbt

@@ -1,0 +1,76 @@
+// Multi-clock sequential and fault simulation (dissertation §5.1).
+//
+// MultiClockSim drives the composite machine: the fast domain captures every
+// cycle, the slow domain only on its divided clock edges (realized as a hold
+// on the off cycles, exactly the state-holding mechanism of §4.5 put to a
+// functional use). MultiClockFaultSim grades *multi-cycle tests* -- stimulus
+// windows long enough to contain at least one slow-clock capture -- against
+// transition faults with a one-fast-cycle gross-delay model; detection is a
+// primary-output mismatch on any cycle or a state mismatch at a domain's own
+// capture edge.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "multiclock/clock_domains.hpp"
+#include "sim/seqsim.hpp"
+
+namespace fbt {
+
+class MultiClockSim {
+ public:
+  explicit MultiClockSim(const ClockDomains& domains);
+
+  void load_reset_state();
+
+  /// Applies one fast-clock cycle: settles, then captures the fast domain
+  /// always and the slow domain only when its edge lands this cycle.
+  SeqStep step(std::span<const std::uint8_t> pi_values);
+
+  const std::vector<std::uint8_t>& state() const { return sim_.state(); }
+  std::uint8_t value(NodeId id) const { return sim_.value(id); }
+  std::size_t cycle() const { return cycle_; }
+
+ private:
+  const ClockDomains* domains_;
+  SeqSim sim_;
+  std::vector<std::uint8_t> hold_slow_;  ///< hold mask for off cycles
+  std::size_t cycle_ = 0;
+};
+
+/// A multi-cycle test: a start state plus a window of primary input vectors
+/// (window length should be >= divider + 1 so every domain launches and
+/// captures at speed at least once).
+struct MultiCycleTest {
+  std::vector<std::uint8_t> start_state;
+  std::vector<std::vector<std::uint8_t>> vectors;
+};
+
+class MultiClockFaultSim {
+ public:
+  explicit MultiClockFaultSim(const ClockDomains& domains);
+
+  /// True when `test` detects `fault` (gross delay of one fast cycle on the
+  /// faulty direction's edges).
+  bool detects(const MultiCycleTest& test, const TransitionFault& fault);
+
+  /// Grades a set of tests with 1-detect dropping; detect_count as in
+  /// BroadsideFaultSim::grade.
+  std::size_t grade(const std::vector<MultiCycleTest>& tests,
+                    const TransitionFaultList& faults,
+                    std::vector<std::uint32_t>& detect_count);
+
+ private:
+  const ClockDomains* domains_;
+};
+
+/// Cuts multi-cycle tests out of a functional trajectory: from `start_state`
+/// apply `vectors`; a test window of `window` cycles starts at every
+/// divider-aligned position.
+std::vector<MultiCycleTest> extract_multicycle_tests(
+    const ClockDomains& domains, const std::vector<std::uint8_t>& start_state,
+    const std::vector<std::vector<std::uint8_t>>& vectors, std::size_t window);
+
+}  // namespace fbt

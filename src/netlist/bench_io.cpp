@@ -1,0 +1,253 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+struct Statement {
+  enum Kind { kInput, kOutput, kGate } kind;
+  std::string name;               // target net
+  std::string type;               // for kGate
+  std::vector<std::string> args;  // for kGate
+  int line;
+};
+
+// Parses "TYPE(a, b, c)" after the '=' of a gate statement.
+void parse_call(const std::string& rhs, Statement& st, int line) {
+  const auto open = rhs.find('(');
+  const auto close = rhs.rfind(')');
+  require(open != std::string::npos && close != std::string::npos &&
+              close > open,
+          "parse_bench", "malformed gate call at line " + std::to_string(line));
+  st.type = trim(rhs.substr(0, open));
+  const std::string args = rhs.substr(open + 1, close - open - 1);
+  std::string cur;
+  for (const char c : args) {
+    if (c == ',') {
+      st.args.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty()) st.args.push_back(last);
+  for (const auto& a : st.args) {
+    require(!a.empty(), "parse_bench",
+            "empty argument at line " + std::to_string(line));
+  }
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, std::string circuit_name) {
+  std::vector<Statement> statements;
+  {
+    std::istringstream in{std::string(text)};
+    std::string raw;
+    int line = 0;
+    while (std::getline(in, raw)) {
+      ++line;
+      const auto hash = raw.find('#');
+      if (hash != std::string::npos) raw.erase(hash);
+      const std::string s = trim(raw);
+      if (s.empty()) continue;
+
+      const auto eq = s.find('=');
+      if (eq == std::string::npos) {
+        // INPUT(x) or OUTPUT(x)
+        const auto open = s.find('(');
+        const auto close = s.rfind(')');
+        require(open != std::string::npos && close != std::string::npos &&
+                    close > open,
+                "parse_bench",
+                "malformed statement at line " + std::to_string(line));
+        const std::string keyword = trim(s.substr(0, open));
+        const std::string net = trim(s.substr(open + 1, close - open - 1));
+        require(!net.empty(), "parse_bench",
+                "empty net name at line " + std::to_string(line));
+        Statement st;
+        st.name = net;
+        st.line = line;
+        if (keyword == "INPUT") {
+          st.kind = Statement::kInput;
+        } else if (keyword == "OUTPUT") {
+          st.kind = Statement::kOutput;
+        } else {
+          throw Error("parse_bench: unknown keyword '" + keyword +
+                      "' at line " + std::to_string(line));
+        }
+        statements.push_back(std::move(st));
+      } else {
+        Statement st;
+        st.kind = Statement::kGate;
+        st.name = trim(s.substr(0, eq));
+        st.line = line;
+        require(!st.name.empty(), "parse_bench",
+                "empty target net at line " + std::to_string(line));
+        parse_call(trim(s.substr(eq + 1)), st, line);
+        statements.push_back(std::move(st));
+      }
+    }
+  }
+
+  // Pass 1: create all nodes so that forward references resolve.
+  Netlist netlist(std::move(circuit_name));
+  std::unordered_map<std::string, NodeId> ids;
+  std::vector<const Statement*> gate_statements;
+  for (const auto& st : statements) {
+    switch (st.kind) {
+      case Statement::kInput:
+        require(ids.find(st.name) == ids.end(), "parse_bench",
+                "duplicate definition of '" + st.name + "' at line " +
+                    std::to_string(st.line));
+        ids[st.name] = netlist.add_input(st.name);
+        break;
+      case Statement::kGate: {
+        require(ids.find(st.name) == ids.end(), "parse_bench",
+                "duplicate definition of '" + st.name + "' at line " +
+                    std::to_string(st.line));
+        const GateType type = gate_type_from_name(st.type);
+        if (type == GateType::kDff) {
+          require(st.args.size() == 1, "parse_bench",
+                  "DFF takes exactly 1 argument at line " +
+                      std::to_string(st.line));
+          ids[st.name] = netlist.add_dff(st.name);
+        } else {
+          ids[st.name] = kNoNode;  // placeholder; created in pass 2
+        }
+        gate_statements.push_back(&st);
+        break;
+      }
+      case Statement::kOutput:
+        break;
+    }
+  }
+
+  // Pass 2: create combinational gates in dependency order. Because gates may
+  // reference nets defined later in the file, iterate until fixpoint.
+  auto resolved = [&](const std::string& net) {
+    const auto it = ids.find(net);
+    return it != ids.end() && it->second != kNoNode;
+  };
+  std::vector<const Statement*> worklist = gate_statements;
+  while (!worklist.empty()) {
+    std::vector<const Statement*> next;
+    bool progress = false;
+    for (const Statement* st : worklist) {
+      const GateType type = gate_type_from_name(st->type);
+      if (type == GateType::kDff) {
+        progress = true;  // created in pass 1; D connected after the loop
+        continue;
+      }
+      bool all_resolved = true;
+      for (const auto& a : st->args) {
+        require(ids.find(a) != ids.end(), "parse_bench",
+                "undefined net '" + a + "' at line " + std::to_string(st->line));
+        if (!resolved(a)) {
+          all_resolved = false;
+          break;
+        }
+      }
+      if (!all_resolved) {
+        next.push_back(st);
+        continue;
+      }
+      std::vector<NodeId> fanins;
+      fanins.reserve(st->args.size());
+      for (const auto& a : st->args) fanins.push_back(ids[a]);
+      ids[st->name] = netlist.add_gate(type, st->name, std::move(fanins));
+      progress = true;
+    }
+    require(progress, "parse_bench",
+            "combinational cycle or unresolved nets in gate definitions");
+    worklist = std::move(next);
+  }
+
+  // Connect flip-flop data inputs.
+  for (const Statement* st : gate_statements) {
+    if (gate_type_from_name(st->type) != GateType::kDff) continue;
+    const auto d = ids.find(st->args[0]);
+    require(d != ids.end() && d->second != kNoNode, "parse_bench",
+            "undefined DFF data net '" + st->args[0] + "' at line " +
+                std::to_string(st->line));
+    netlist.set_dff_input(ids[st->name], d->second);
+  }
+
+  // Mark outputs.
+  for (const auto& st : statements) {
+    if (st.kind != Statement::kOutput) continue;
+    const auto it = ids.find(st.name);
+    require(it != ids.end() && it->second != kNoNode, "parse_bench",
+            "OUTPUT names undefined net '" + st.name + "' at line " +
+                std::to_string(st.line));
+    netlist.mark_output(it->second);
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "read_bench_file", "cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // Derive the circuit name from the file name, dropping directory and .bench.
+  std::string name = path;
+  const auto slash = name.find_last_of('/');
+  if (slash != std::string::npos) name.erase(0, slash + 1);
+  const auto dot = name.rfind(".bench");
+  if (dot != std::string::npos) name.erase(dot);
+  return parse_bench(buffer.str(), name);
+}
+
+std::string write_bench(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "# " << netlist.name() << "\n";
+  for (const NodeId id : netlist.inputs()) {
+    out << "INPUT(" << netlist.gate(id).name << ")\n";
+  }
+  for (const NodeId id : netlist.outputs()) {
+    out << "OUTPUT(" << netlist.gate(id).name << ")\n";
+  }
+  for (const NodeId ff : netlist.flops()) {
+    out << netlist.gate(ff).name << " = DFF("
+        << netlist.gate(netlist.dff_input(ff)).name << ")\n";
+  }
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (!is_combinational(g.type) &&
+        !(g.type == GateType::kConst0 || g.type == GateType::kConst1)) {
+      continue;
+    }
+    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+      out << g.name << " = " << gate_type_name(g.type) << "()\n";
+      continue;
+    }
+    out << g.name << " = " << gate_type_name(g.type) << "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) out << ", ";
+      out << netlist.gate(g.fanins[i]).name;
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace fbt

@@ -1,0 +1,29 @@
+// ISCAS89 .bench format reader and writer.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = TYPE(arg1, arg2, ...)
+// where TYPE is DFF, BUF/BUFF, NOT/INV, AND, NAND, OR, NOR, XOR, XNOR.
+// References may be forward; OUTPUT may name any net.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Parses .bench text into a finalized Netlist. Throws fbt::Error with the
+/// offending line number on malformed input.
+Netlist parse_bench(std::string_view text, std::string circuit_name);
+
+/// Reads a .bench file from disk.
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes a netlist to .bench text (round-trips through parse_bench).
+std::string write_bench(const Netlist& netlist);
+
+}  // namespace fbt

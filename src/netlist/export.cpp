@@ -1,0 +1,112 @@
+#include "netlist/export.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+std::string verilog_primitive(GateType type) {
+  switch (type) {
+    case GateType::kBuf: return "buf";
+    case GateType::kNot: return "not";
+    case GateType::kAnd: return "and";
+    case GateType::kNand: return "nand";
+    case GateType::kOr: return "or";
+    case GateType::kNor: return "nor";
+    case GateType::kXor: return "xor";
+    case GateType::kXnor: return "xnor";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+std::string write_verilog(const Netlist& netlist) {
+  require(netlist.finalized(), "write_verilog", "netlist must be finalized");
+  std::ostringstream out;
+  out << "module " << netlist.name() << " (clk";
+  for (const NodeId pi : netlist.inputs()) {
+    out << ", " << netlist.gate(pi).name;
+  }
+  for (const NodeId po : netlist.outputs()) {
+    out << ", " << netlist.gate(po).name << "_po";
+  }
+  out << ");\n  input clk;\n";
+  for (const NodeId pi : netlist.inputs()) {
+    out << "  input " << netlist.gate(pi).name << ";\n";
+  }
+  for (const NodeId po : netlist.outputs()) {
+    out << "  output " << netlist.gate(po).name << "_po;\n";
+  }
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    if (netlist.type(id) == GateType::kInput) continue;
+    out << "  wire " << netlist.gate(id).name << ";\n";
+  }
+  out << "\n";
+  for (const NodeId po : netlist.outputs()) {
+    out << "  assign " << netlist.gate(po).name << "_po = "
+        << netlist.gate(po).name << ";\n";
+  }
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    const Gate& g = netlist.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kDff:
+        out << "  fbt_dff dff_" << g.name << " (.clk(clk), .d("
+            << netlist.gate(netlist.dff_input(id)).name << "), .q(" << g.name
+            << "));\n";
+        break;
+      case GateType::kConst0:
+        out << "  assign " << g.name << " = 1'b0;\n";
+        break;
+      case GateType::kConst1:
+        out << "  assign " << g.name << " = 1'b1;\n";
+        break;
+      default: {
+        out << "  " << verilog_primitive(g.type) << " g_" << g.name << " ("
+            << g.name;
+        for (const NodeId f : g.fanins) {
+          out << ", " << netlist.gate(f).name;
+        }
+        out << ");\n";
+        break;
+      }
+    }
+  }
+  out << "endmodule\n\n"
+      << "module fbt_dff (input clk, input d, output reg q);\n"
+      << "  initial q = 1'b0;\n"
+      << "  always @(posedge clk) q <= d;\n"
+      << "endmodule\n";
+  return out.str();
+}
+
+std::string write_dot(const Netlist& netlist) {
+  require(netlist.finalized(), "write_dot", "netlist must be finalized");
+  std::ostringstream out;
+  out << "digraph \"" << netlist.name() << "\" {\n  rankdir=LR;\n";
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    const Gate& g = netlist.gate(id);
+    const char* shape = "ellipse";
+    if (g.type == GateType::kInput) shape = "diamond";
+    if (g.type == GateType::kDff) shape = "box";
+    out << "  n" << id << " [label=\"" << g.name << "\\n"
+        << gate_type_name(g.type) << "\", shape=" << shape;
+    if (netlist.is_output(id)) out << ", peripheries=2";
+    out << "];\n";
+  }
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    for (const NodeId f : netlist.gate(id).fanins) {
+      out << "  n" << f << " -> n" << id;
+      if (netlist.type(id) == GateType::kDff) out << " [style=dashed]";
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fbt

@@ -1,0 +1,24 @@
+// Netlist exporters: structural Verilog and Graphviz DOT.
+//
+// The dissertation's tool chain moves netlists between formats (appendix A's
+// "format convertor"); these exporters let fbtgen circuits be inspected with
+// standard EDA/graph tooling. Both are write-only views (the .bench reader
+// remains the ingest path).
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Structural Verilog-2001: one module, wire-per-net, primitive gate
+/// instances, and DFF instances of a behavioural `fbt_dff` cell appended to
+/// the output.
+std::string write_verilog(const Netlist& netlist);
+
+/// Graphviz DOT digraph (inputs as diamonds, flops as boxes, gates as
+/// ellipses; primary outputs double-circled).
+std::string write_dot(const Netlist& netlist);
+
+}  // namespace fbt

@@ -1,0 +1,53 @@
+// Flattened fanin arrays for hot simulation loops.
+//
+// The simulators evaluate every gate every cycle; building a temporary
+// fanin-value vector per gate dominates their run time. FlatFanins lays the
+// eval-order gates out contiguously (gate id, type, fanin span) so inner
+// loops touch two flat arrays only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+class FlatFanins {
+ public:
+  explicit FlatFanins(const Netlist& netlist) {
+    const auto& order = netlist.eval_order();
+    entries_.reserve(order.size());
+    for (const NodeId id : order) {
+      const Gate& g = netlist.gate(id);
+      entries_.push_back({id, g.type,
+                          static_cast<std::uint32_t>(fanins_.size()),
+                          static_cast<std::uint32_t>(g.fanins.size())});
+      fanins_.insert(fanins_.end(), g.fanins.begin(), g.fanins.end());
+    }
+    for (NodeId id = 0; id < netlist.size(); ++id) {
+      if (netlist.type(id) == GateType::kConst0) const0_.push_back(id);
+      if (netlist.type(id) == GateType::kConst1) const1_.push_back(id);
+    }
+  }
+
+  struct Entry {
+    NodeId node;
+    GateType type;
+    std::uint32_t first;  ///< index into fanin_ids()
+    std::uint32_t count;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  const NodeId* fanin_ids() const { return fanins_.data(); }
+  const std::vector<NodeId>& const0_nodes() const { return const0_; }
+  const std::vector<NodeId>& const1_nodes() const { return const1_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<NodeId> fanins_;
+  std::vector<NodeId> const0_;
+  std::vector<NodeId> const1_;
+};
+
+}  // namespace fbt

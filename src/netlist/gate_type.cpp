@@ -1,0 +1,89 @@
+#include "netlist/gate_type.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::string_view gate_type_name(GateType type) {
+  switch (type) {
+    case GateType::kInput: return "INPUT";
+    case GateType::kDff: return "DFF";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+  }
+  return "?";
+}
+
+GateType gate_type_from_name(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "INPUT") return GateType::kInput;
+  if (upper == "DFF") return GateType::kDff;
+  if (upper == "BUF" || upper == "BUFF") return GateType::kBuf;
+  if (upper == "NOT" || upper == "INV") return GateType::kNot;
+  if (upper == "AND") return GateType::kAnd;
+  if (upper == "NAND") return GateType::kNand;
+  if (upper == "OR") return GateType::kOr;
+  if (upper == "NOR") return GateType::kNor;
+  if (upper == "XOR") return GateType::kXor;
+  if (upper == "XNOR") return GateType::kXnor;
+  if (upper == "CONST0") return GateType::kConst0;
+  if (upper == "CONST1") return GateType::kConst1;
+  throw Error("gate_type_from_name: unknown gate type '" + upper + "'");
+}
+
+bool has_controlling_value(GateType type) {
+  switch (type) {
+    case GateType::kAnd:
+    case GateType::kNand:
+    case GateType::kOr:
+    case GateType::kNor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool controlling_value(GateType type) {
+  require(has_controlling_value(type),
+          "controlling_value: gate type has no controlling value");
+  return type == GateType::kOr || type == GateType::kNor;
+}
+
+bool inverts(GateType type) {
+  switch (type) {
+    case GateType::kNot:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_combinational(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+    case GateType::kDff:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace fbt

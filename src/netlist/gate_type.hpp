@@ -1,0 +1,52 @@
+// Gate types for the structural netlist model.
+//
+// The model matches the ISCAS89 .bench vocabulary: primary inputs, D
+// flip-flops, and the standard combinational cells. Constants exist so that
+// case analysis (STA) and synthetic generation can tie nets off explicitly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fbt {
+
+enum class GateType : std::uint8_t {
+  kInput,   ///< Primary input (no fanin).
+  kDff,     ///< D flip-flop; node value is the state variable (Q). One fanin: D.
+  kBuf,     ///< Buffer, 1 fanin.
+  kNot,     ///< Inverter, 1 fanin.
+  kAnd,     ///< AND, >= 1 fanins.
+  kNand,    ///< NAND, >= 1 fanins.
+  kOr,      ///< OR, >= 1 fanins.
+  kNor,     ///< NOR, >= 1 fanins.
+  kXor,     ///< XOR (odd parity), >= 2 fanins.
+  kXnor,    ///< XNOR (even parity), >= 2 fanins.
+  kConst0,  ///< Constant 0, no fanin.
+  kConst1,  ///< Constant 1, no fanin.
+};
+
+/// .bench keyword for a gate type ("INPUT", "DFF", "NAND", ...).
+std::string_view gate_type_name(GateType type);
+
+/// Parses a .bench keyword (case-insensitive). Throws fbt::Error on unknown.
+GateType gate_type_from_name(std::string_view name);
+
+/// True for AND/NAND/OR/NOR — gates that have a controlling value.
+bool has_controlling_value(GateType type);
+
+/// Controlling input value of AND/NAND (0... returns the value that forces the
+/// output regardless of other inputs): AND/NAND -> 0, OR/NOR -> 1.
+/// Precondition: has_controlling_value(type).
+bool controlling_value(GateType type);
+
+/// True when the gate inverts parity from a single sensitized input to the
+/// output: NOT, NAND, NOR, XNOR. (For XOR/XNOR this is the polarity seen by
+/// one input when all other inputs are held at 0.)
+bool inverts(GateType type);
+
+/// True for gates that compute a combinational function (everything except
+/// kInput, kDff, kConst0, kConst1).
+bool is_combinational(GateType type);
+
+}  // namespace fbt

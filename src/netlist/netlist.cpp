@@ -1,0 +1,167 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+void Netlist::check_mutable() const {
+  require(!finalized_, "Netlist", "cannot modify a finalized netlist");
+}
+
+NodeId Netlist::add_node(Gate gate) {
+  check_mutable();
+  require(!gate.name.empty(), "Netlist::add_node", "node name must be nonempty");
+  require(by_name_.find(gate.name) == by_name_.end(), "Netlist::add_node",
+          "duplicate node name '" + gate.name + "'");
+  const auto id = static_cast<NodeId>(gates_.size());
+  by_name_.emplace(gate.name, id);
+  gates_.push_back(std::move(gate));
+  output_flag_.push_back(0);
+  return id;
+}
+
+NodeId Netlist::add_input(std::string name) {
+  const NodeId id = add_node({GateType::kInput, std::move(name), {}});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_dff(std::string name) {
+  const NodeId id = add_node({GateType::kDff, std::move(name), {kNoNode}});
+  flops_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(NodeId dff, NodeId d) {
+  check_mutable();
+  require(dff < gates_.size() && gates_[dff].type == GateType::kDff,
+          "Netlist::set_dff_input", "node is not a flip-flop");
+  require(d < gates_.size(), "Netlist::set_dff_input", "invalid data input");
+  gates_[dff].fanins[0] = d;
+}
+
+NodeId Netlist::add_gate(GateType type, std::string name,
+                         std::vector<NodeId> fanins) {
+  require(type != GateType::kInput && type != GateType::kDff,
+          "Netlist::add_gate", "use add_input/add_dff for sources");
+  for (const NodeId f : fanins) {
+    require(f < gates_.size(), "Netlist::add_gate",
+            "fanin id out of range in gate '" + name + "'");
+  }
+  switch (type) {
+    case GateType::kBuf:
+    case GateType::kNot:
+      require(fanins.size() == 1, "Netlist::add_gate",
+              "BUF/NOT require exactly 1 fanin ('" + name + "')");
+      break;
+    case GateType::kConst0:
+    case GateType::kConst1:
+      require(fanins.empty(), "Netlist::add_gate",
+              "constants take no fanins ('" + name + "')");
+      break;
+    default:
+      require(!fanins.empty(), "Netlist::add_gate",
+              "gate requires at least 1 fanin ('" + name + "')");
+      break;
+  }
+  return add_node({type, std::move(name), std::move(fanins)});
+}
+
+void Netlist::mark_output(NodeId node) {
+  check_mutable();
+  require(node < gates_.size(), "Netlist::mark_output", "invalid node id");
+  require(output_flag_[node] == 0, "Netlist::mark_output",
+          "node '" + gates_[node].name + "' already marked as output");
+  output_flag_[node] = 1;
+  outputs_.push_back(node);
+}
+
+void Netlist::finalize() {
+  check_mutable();
+
+  // Every flip-flop must have a connected data input.
+  for (const NodeId ff : flops_) {
+    require(gates_[ff].fanins[0] != kNoNode, "Netlist::finalize",
+            "flip-flop '" + gates_[ff].name + "' has no data input");
+  }
+
+  // Build fanouts.
+  fanouts_.assign(gates_.size(), {});
+  for (NodeId id = 0; id < gates_.size(); ++id) {
+    for (const NodeId f : gates_[id].fanins) {
+      fanouts_[f].push_back(id);
+    }
+  }
+
+  // Kahn topological sort over combinational gates. Sources (inputs, flops,
+  // constants) have level 0; the edge from a gate into a flip-flop's D pin
+  // does not constrain the flip-flop (its value is a state variable).
+  levels_.assign(gates_.size(), 0);
+  std::vector<unsigned> pending(gates_.size(), 0);
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < gates_.size(); ++id) {
+    if (is_combinational(gates_[id].type)) {
+      pending[id] = static_cast<unsigned>(gates_[id].fanins.size());
+    } else {
+      ready.push_back(id);  // source
+    }
+  }
+  eval_order_.clear();
+  eval_order_.reserve(gates_.size());
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const NodeId id = ready[head++];
+    if (is_combinational(gates_[id].type)) {
+      eval_order_.push_back(id);
+      unsigned lvl = 0;
+      for (const NodeId f : gates_[id].fanins) {
+        lvl = std::max(lvl, levels_[f] + 1);
+      }
+      levels_[id] = lvl;
+      max_level_ = std::max(max_level_, lvl);
+    }
+    for (const NodeId out : fanouts_[id]) {
+      if (!is_combinational(gates_[out].type)) continue;  // flop D pins
+      if (--pending[out] == 0) ready.push_back(out);
+    }
+  }
+
+  std::size_t comb = 0;
+  for (const auto& g : gates_) {
+    if (is_combinational(g.type)) ++comb;
+  }
+  require(eval_order_.size() == comb, "Netlist::finalize",
+          "combinational cycle detected in '" + name_ + "'");
+
+  finalized_ = true;
+}
+
+NodeId Netlist::dff_input(NodeId dff) const {
+  require(dff < gates_.size() && gates_[dff].type == GateType::kDff,
+          "Netlist::dff_input", "node is not a flip-flop");
+  return gates_[dff].fanins[0];
+}
+
+NodeId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoNode : it->second;
+}
+
+const std::vector<NodeId>& Netlist::eval_order() const {
+  require(finalized_, "Netlist::eval_order", "netlist not finalized");
+  return eval_order_;
+}
+
+const std::vector<NodeId>& Netlist::fanouts(NodeId id) const {
+  require(finalized_, "Netlist::fanouts", "netlist not finalized");
+  return fanouts_[id];
+}
+
+unsigned Netlist::level(NodeId id) const {
+  require(finalized_, "Netlist::level", "netlist not finalized");
+  return levels_[id];
+}
+
+}  // namespace fbt

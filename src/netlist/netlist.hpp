@@ -1,0 +1,127 @@
+// Structural gate-level netlist.
+//
+// A Netlist is a DAG of gates plus D flip-flops. Flip-flop *outputs* are the
+// present-state variables (pseudo primary inputs, PPIs); flip-flop *data
+// inputs* are the next-state functions (pseudo primary outputs, PPOs). The
+// combinational core is everything between {primary inputs, flip-flop outputs,
+// constants} and {primary outputs, flip-flop data inputs}.
+//
+// Construction is two-phase: build with add_* / set_dff_input / mark_output,
+// then call finalize() once. finalize() validates the structure and builds the
+// derived views (fanouts, topological evaluation order, levels) that the
+// simulators, ATPG, and STA consume.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate_type.hpp"
+
+namespace fbt {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// One node of the netlist: a primary input, flip-flop, constant, or gate.
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::string name;
+  std::vector<NodeId> fanins;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  // ---- construction ------------------------------------------------------
+
+  /// Adds a primary input. Returns its node id.
+  NodeId add_input(std::string name);
+
+  /// Adds a D flip-flop with an unconnected data input (connect it later with
+  /// set_dff_input). Returns the node id of the flip-flop output (Q).
+  NodeId add_dff(std::string name);
+
+  /// Connects the data input of flip-flop `dff` to node `d`.
+  void set_dff_input(NodeId dff, NodeId d);
+
+  /// Adds a combinational gate or constant. Returns its node id.
+  NodeId add_gate(GateType type, std::string name, std::vector<NodeId> fanins);
+
+  /// Marks `node` as a primary output. A node may be marked at most once.
+  void mark_output(NodeId node);
+
+  /// Validates the netlist and builds derived structures. Must be called
+  /// exactly once, after which the netlist is immutable.
+  void finalize();
+
+  // ---- structure ---------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(NodeId id) const { return gates_[id]; }
+  GateType type(NodeId id) const { return gates_[id].type; }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& flops() const { return flops_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_flops() const { return flops_.size(); }
+
+  /// Data input (D) node of flip-flop `dff`.
+  NodeId dff_input(NodeId dff) const;
+
+  /// Node id by name; kNoNode when absent.
+  NodeId find(const std::string& name) const;
+
+  bool is_output(NodeId id) const { return output_flag_[id] != 0; }
+
+  // ---- derived views (available after finalize) ---------------------------
+
+  bool finalized() const { return finalized_; }
+
+  /// Combinational gates in topological (fanin-before-fanout) order. Sources
+  /// (inputs, flip-flops, constants) are not included.
+  const std::vector<NodeId>& eval_order() const;
+
+  /// Fanout node ids of `id` (gates that list `id` as a fanin, including
+  /// flip-flops whose D input is `id`).
+  const std::vector<NodeId>& fanouts(NodeId id) const;
+
+  /// Logic level: 0 for sources, 1 + max(fanin levels) for gates.
+  unsigned level(NodeId id) const;
+  unsigned max_level() const { return max_level_; }
+
+  /// Number of circuit lines used for switching-activity percentages. Every
+  /// node is one line (the dissertation counts gate outputs, inputs, and
+  /// state variables).
+  std::size_t num_lines() const { return gates_.size(); }
+
+  /// Count of combinational gates (excludes inputs, flops, constants).
+  std::size_t num_gates() const { return eval_order_.size(); }
+
+ private:
+  void check_mutable() const;
+  NodeId add_node(Gate gate);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> flops_;
+  std::vector<std::uint8_t> output_flag_;
+  std::unordered_map<std::string, NodeId> by_name_;
+
+  bool finalized_ = false;
+  std::vector<NodeId> eval_order_;
+  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<unsigned> levels_;
+  unsigned max_level_ = 0;
+};
+
+}  // namespace fbt

@@ -1,0 +1,41 @@
+#include "netlist/scan.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+ScanChains::ScanChains(const Netlist& netlist, const ScanConfig& config) {
+  require(config.max_chains >= 1, "ScanChains", "max_chains must be >= 1");
+  require(config.min_chain_length >= 1, "ScanChains",
+          "min_chain_length must be >= 1");
+  const std::size_t nff = netlist.num_flops();
+  if (nff == 0) return;
+
+  // As many chains as possible subject to: at most max_chains, and each chain
+  // at least min_chain_length long (unless there are too few flops for even
+  // one such chain, in which case a single short chain is used).
+  std::size_t nchains = nff / config.min_chain_length;
+  nchains = std::clamp<std::size_t>(nchains, 1, config.max_chains);
+
+  chains_.resize(nchains);
+  const std::size_t base = nff / nchains;
+  const std::size_t extra = nff % nchains;
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < nchains; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    for (std::size_t i = 0; i < len; ++i) {
+      chains_[c].push_back(netlist.flops()[next++]);
+    }
+    longest_ = std::max(longest_, len);
+  }
+  require(next == nff, "ScanChains", "internal: flop partition mismatch");
+}
+
+const std::vector<NodeId>& ScanChains::chain(std::size_t index) const {
+  require(index < chains_.size(), "ScanChains::chain", "index out of range");
+  return chains_[index];
+}
+
+}  // namespace fbt

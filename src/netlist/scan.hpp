@@ -1,0 +1,48 @@
+// Scan-chain configuration model (dissertation §1.3, Fig. 1.8).
+//
+// fbtgen simulates scan structurally rather than by netlist rewriting: state
+// variables are directly loadable/observable in the simulators, and this
+// model supplies the chain partition needed for test-time accounting (shift
+// cycles, circular-shift length Lsc) and for the BIST controller's shift
+// counter sizing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+/// Policy for stitching flip-flops into scan chains.
+struct ScanConfig {
+  /// Upper bound on the number of chains (the dissertation assumes <= 10).
+  std::size_t max_chains = 10;
+  /// Minimum chain length before a second chain is opened (>= 100 in §4.6).
+  std::size_t min_chain_length = 100;
+};
+
+/// A partition of the circuit's flip-flops into scan chains of approximately
+/// equal length, in flip-flop declaration order.
+class ScanChains {
+ public:
+  /// Stitches `netlist`'s flops per `config`. A circuit with no flops yields
+  /// zero chains.
+  ScanChains(const Netlist& netlist, const ScanConfig& config);
+
+  std::size_t num_chains() const { return chains_.size(); }
+  const std::vector<NodeId>& chain(std::size_t index) const;
+
+  /// Length of the longest chain (Lsc in Tables 4.3/4.4). Zero when there are
+  /// no flip-flops.
+  std::size_t longest_length() const { return longest_; }
+
+  /// Cycles needed to load a full state serially (== longest_length()).
+  std::size_t shift_cycles() const { return longest_; }
+
+ private:
+  std::vector<std::vector<NodeId>> chains_;
+  std::size_t longest_ = 0;
+};
+
+}  // namespace fbt

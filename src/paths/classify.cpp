@@ -1,0 +1,87 @@
+#include "paths/classify.hpp"
+
+#include "fault/fault_sim.hpp"
+#include "sim/seqsim.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+const char* path_test_class_name(PathTestClass c) {
+  switch (c) {
+    case PathTestClass::kNotATest: return "not a test";
+    case PathTestClass::kWeakNonRobust: return "weak non-robust";
+    case PathTestClass::kStrongNonRobust: return "strong non-robust";
+    case PathTestClass::kRobust: return "robust";
+  }
+  return "?";
+}
+
+PathTestClass classify_path_test(const Netlist& netlist,
+                                 const BroadsideTest& test,
+                                 const PathDelayFault& fault) {
+  require(!fault.path.nodes.empty(), "classify_path_test", "empty path");
+
+  // Settle both patterns.
+  SeqSim sim1(netlist);
+  if (!test.scan_state.empty()) {
+    sim1.load_state(test.scan_state);
+  } else {
+    sim1.load_reset_state();
+  }
+  sim1.step(test.v1);
+  std::vector<std::uint8_t> s2 = test.state2_override.empty()
+                                     ? sim1.state()
+                                     : test.state2_override;
+  SeqSim sim2(netlist);
+  sim2.load_state(s2);
+  sim2.step(test.v2);
+
+  auto v1 = [&](NodeId n) { return sim1.value(n); };
+  auto v2 = [&](NodeId n) { return sim2.value(n); };
+
+  // Launch condition at the source.
+  const NodeId src = fault.path.nodes.front();
+  const std::uint8_t init = fault.rising ? 0 : 1;
+  if (v1(src) != init || v2(src) == init) return PathTestClass::kNotATest;
+
+  // Off-path second-pattern sensitization (weak non-robust baseline) and the
+  // robust side conditions, gate by gate.
+  bool robust_sides = true;
+  const auto& nodes = fault.path.nodes;
+  const auto expected = transition_faults_along(netlist, fault);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const Gate& g = netlist.gate(nodes[i]);
+    const NodeId on_path = nodes[i - 1];
+    const bool has_ctrl = has_controlling_value(g.type);
+    const std::uint8_t ctrl =
+        has_ctrl ? (controlling_value(g.type) ? 1 : 0) : 0;
+    // Is the on-path input's transition controlling -> non-controlling?
+    const bool to_noncontrolling =
+        has_ctrl && v1(on_path) == ctrl && v2(on_path) != ctrl;
+    for (const NodeId fi : g.fanins) {
+      if (fi == on_path) continue;
+      if (has_ctrl) {
+        if (v2(fi) == ctrl) return PathTestClass::kNotATest;
+        if (to_noncontrolling && v1(fi) == ctrl) robust_sides = false;
+      } else {
+        // XOR family: off-path inputs must be steady in every class.
+        if (v1(fi) != v2(fi)) return PathTestClass::kNotATest;
+      }
+    }
+  }
+
+  // Strong non-robust: the matching transition appears on every on-path line.
+  bool strong = true;
+  for (const TransitionFault& tf : expected) {
+    const std::uint8_t want1 = tf.rising ? 0 : 1;
+    if (v1(tf.line) != want1 || v2(tf.line) == want1) {
+      strong = false;
+      break;
+    }
+  }
+  if (!strong) return PathTestClass::kWeakNonRobust;
+  return robust_sides ? PathTestClass::kRobust
+                      : PathTestClass::kStrongNonRobust;
+}
+
+}  // namespace fbt

@@ -1,0 +1,45 @@
+// Path-delay-fault test classification (dissertation §1.2, refs [5]-[7]).
+//
+// Given a two-pattern test and a path delay fault, classifies the test as
+// robust / strong non-robust / weak non-robust / not a test, under zero-delay
+// two-pattern semantics:
+//
+//  * weak non-robust:   the source transition is launched and every off-path
+//                       input of every on-path gate holds a non-controlling
+//                       value under the second pattern;
+//  * strong non-robust: weak, and every on-path line carries the transition
+//                       matching the source transition through the path's
+//                       inversion parity (exactly the condition under which a
+//                       test for the transition path delay fault exists,
+//                       §2.2);
+//  * robust:            strong, and for every on-path gate whose on-path
+//                       input transitions from the controlling to the
+//                       non-controlling value, the off-path inputs hold
+//                       steady non-controlling values under BOTH patterns
+//                       (so no off-path glitch can mask the propagation).
+//
+// XOR/XNOR gates have no controlling value: their off-path inputs must be
+// steady (equal in both patterns) for every class.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/broadside_test.hpp"
+#include "paths/path.hpp"
+
+namespace fbt {
+
+enum class PathTestClass : std::uint8_t {
+  kNotATest,
+  kWeakNonRobust,
+  kStrongNonRobust,
+  kRobust,
+};
+
+const char* path_test_class_name(PathTestClass c);
+
+PathTestClass classify_path_test(const Netlist& netlist,
+                                 const BroadsideTest& test,
+                                 const PathDelayFault& fault);
+
+}  // namespace fbt

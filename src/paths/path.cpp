@@ -1,0 +1,150 @@
+#include "paths/path.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::vector<TransitionFault> transition_faults_along(const Netlist& netlist,
+                                                     const PathDelayFault& f) {
+  require(!f.path.nodes.empty(), "transition_faults_along", "empty path");
+  std::vector<TransitionFault> faults;
+  faults.reserve(f.path.nodes.size());
+  bool polarity = f.rising;
+  for (std::size_t i = 0; i < f.path.nodes.size(); ++i) {
+    if (i > 0 && inverts(netlist.type(f.path.nodes[i]))) polarity = !polarity;
+    faults.push_back({f.path.nodes[i], polarity});
+  }
+  return faults;
+}
+
+std::string path_fault_name(const Netlist& netlist, const PathDelayFault& f) {
+  std::string name;
+  for (std::size_t i = 0; i < f.path.nodes.size(); ++i) {
+    if (i) name += '-';
+    name += netlist.gate(f.path.nodes[i]).name;
+  }
+  name += f.rising ? " (rising)" : " (falling)";
+  return name;
+}
+
+bool is_capture_point(const Netlist& netlist, NodeId node) {
+  if (netlist.is_output(node)) return true;
+  for (const NodeId out : netlist.fanouts(node)) {
+    if (netlist.type(out) == GateType::kDff) return true;
+  }
+  return false;
+}
+
+PathEnumeration enumerate_all_paths(const Netlist& netlist,
+                                    std::size_t max_paths) {
+  PathEnumeration result;
+  std::vector<NodeId> stack;
+
+  // Iterative DFS with an explicit frame stack (path prefix + fanout cursor).
+  struct Frame {
+    NodeId node;
+    std::size_t next_fanout = 0;
+  };
+  std::vector<Frame> frames;
+
+  std::vector<NodeId> sources;
+  for (const NodeId pi : netlist.inputs()) sources.push_back(pi);
+  for (const NodeId ff : netlist.flops()) sources.push_back(ff);
+
+  for (const NodeId src : sources) {
+    frames.clear();
+    frames.push_back({src, 0});
+    while (!frames.empty()) {
+      const std::size_t ti = frames.size() - 1;  // frames may reallocate below
+      if (frames[ti].next_fanout == 0 &&
+          is_capture_point(netlist, frames[ti].node)) {
+        Path path;
+        for (const Frame& fr : frames) path.nodes.push_back(fr.node);
+        result.paths.push_back(std::move(path));
+        if (result.paths.size() >= max_paths) {
+          result.complete = false;
+          return result;
+        }
+      }
+      const auto& fanouts = netlist.fanouts(frames[ti].node);
+      bool descended = false;
+      while (frames[ti].next_fanout < fanouts.size()) {
+        const NodeId next = fanouts[frames[ti].next_fanout++];
+        if (!is_combinational(netlist.type(next))) continue;  // flop D edge
+        frames.push_back({next, 0});
+        descended = true;
+        break;
+      }
+      if (!descended) frames.pop_back();
+    }
+  }
+  return result;
+}
+
+LongestPathEnumerator::LongestPathEnumerator(const Netlist& netlist)
+    : netlist_(&netlist) {
+  // Reverse DP: longest edge count from each node to any capture point.
+  max_remaining_.assign(netlist.size(), 0);
+  reaches_capture_.assign(netlist.size(), 0);
+  const auto& order = netlist.eval_order();
+  // Process in reverse topological order; sources handled afterwards.
+  auto relax = [&](NodeId id) {
+    if (is_capture_point(netlist, id)) reaches_capture_[id] = 1;
+    for (const NodeId out : netlist.fanouts(id)) {
+      if (!is_combinational(netlist.type(out))) continue;
+      if (reaches_capture_[out]) {
+        reaches_capture_[id] = 1;
+        max_remaining_[id] =
+            std::max(max_remaining_[id], max_remaining_[out] + 1);
+      }
+    }
+  };
+  for (auto it = order.rbegin(); it != order.rend(); ++it) relax(*it);
+  for (const NodeId pi : netlist.inputs()) relax(pi);
+  for (const NodeId ff : netlist.flops()) relax(ff);
+
+  for (const NodeId pi : netlist.inputs()) {
+    if (reaches_capture_[pi]) {
+      heap_.push_back({{pi}, max_remaining_[pi], false});
+    }
+  }
+  for (const NodeId ff : netlist.flops()) {
+    if (reaches_capture_[ff]) {
+      heap_.push_back({{ff}, max_remaining_[ff], false});
+    }
+  }
+  std::make_heap(heap_.begin(), heap_.end());
+}
+
+Path LongestPathEnumerator::next() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    if (item.complete) {
+      return Path{std::move(item.nodes)};
+    }
+    const NodeId last = item.nodes.back();
+    const auto length = static_cast<unsigned>(item.nodes.size() - 1);
+    // Ending here is one completion option.
+    if (is_capture_point(*netlist_, last)) {
+      heap_.push_back({item.nodes, length, true});
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+    for (const NodeId out : netlist_->fanouts(last)) {
+      if (!is_combinational(netlist_->type(out))) continue;
+      if (!reaches_capture_[out]) continue;
+      Item extended;
+      extended.nodes = item.nodes;
+      extended.nodes.push_back(out);
+      extended.bound = length + 1 + max_remaining_[out];
+      heap_.push_back(std::move(extended));
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+  return {};
+}
+
+}  // namespace fbt

@@ -1,0 +1,78 @@
+// Combinational paths and transition path delay faults (dissertation §2.2).
+//
+// A path runs from a launch point (primary input or state variable) through
+// combinational gates to a capture point (primary output or flip-flop data
+// input). A transition path delay fault (TPDF) is a path plus a transition at
+// its source; it is detected only by a test that detects every individual
+// transition fault along the path, where the transition at node i follows the
+// source transition through the inversion parity of the gates traversed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace fbt {
+
+struct Path {
+  std::vector<NodeId> nodes;  ///< source first, capture point last
+
+  std::size_t length() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+};
+
+/// A transition path delay fault: a path and the transition at its source.
+struct PathDelayFault {
+  Path path;
+  bool rising = true;  ///< transition at the source
+};
+
+/// The set TR(fp): one transition fault per node of the path, polarity
+/// following the inversion parity (kNot/kNand/kNor/kXnor invert).
+std::vector<TransitionFault> transition_faults_along(const Netlist& netlist,
+                                                     const PathDelayFault& f);
+
+/// "a-c-e-g (rising)" style display name.
+std::string path_fault_name(const Netlist& netlist, const PathDelayFault& f);
+
+/// True when `node` can end a path (primary output or flip-flop D input).
+bool is_capture_point(const Netlist& netlist, NodeId node);
+
+/// Enumerates every path in the circuit (both transitions are emitted by the
+/// caller). Stops after max_paths paths; returns whether enumeration was
+/// complete.
+struct PathEnumeration {
+  std::vector<Path> paths;
+  bool complete = true;
+};
+PathEnumeration enumerate_all_paths(const Netlist& netlist,
+                                    std::size_t max_paths);
+
+/// Yields paths in non-increasing length (unit gate delay), lazily, for
+/// circuits whose full path set is too large (§2.4, §3.1).
+class LongestPathEnumerator {
+ public:
+  explicit LongestPathEnumerator(const Netlist& netlist);
+
+  /// Next-longest path, or an empty path when exhausted / capped.
+  Path next();
+
+  bool exhausted() const { return heap_.empty(); }
+
+ private:
+  struct Item {
+    std::vector<NodeId> nodes;
+    unsigned bound = 0;     ///< length so far + best completion
+    bool complete = false;  ///< ends at a capture point, no further extension
+
+    bool operator<(const Item& other) const { return bound < other.bound; }
+  };
+
+  const Netlist* netlist_;
+  std::vector<unsigned> max_remaining_;  ///< longest edge count to any capture
+  std::vector<std::uint8_t> reaches_capture_;
+  std::vector<Item> heap_;  // std::push_heap/pop_heap managed
+};
+
+}  // namespace fbt

@@ -1,0 +1,49 @@
+#include "paths/segments.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+bool extend(const Netlist& netlist, std::vector<NodeId>& nodes,
+            std::size_t target_nodes, SegmentEnumeration& out,
+            std::size_t max_segments) {
+  if (nodes.size() == target_nodes) {
+    out.segments.push_back(Path{nodes});
+    if (out.segments.size() >= max_segments) {
+      out.complete = false;
+      return false;
+    }
+    return true;
+  }
+  for (const NodeId next : netlist.fanouts(nodes.back())) {
+    if (!is_combinational(netlist.type(next))) continue;
+    nodes.push_back(next);
+    const bool keep_going =
+        extend(netlist, nodes, target_nodes, out, max_segments);
+    nodes.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SegmentEnumeration enumerate_segments(const Netlist& netlist,
+                                      std::size_t length,
+                                      std::size_t max_segments) {
+  require(length >= 1, "enumerate_segments", "segment length must be >= 1");
+  require(netlist.finalized(), "enumerate_segments",
+          "netlist must be finalized");
+  SegmentEnumeration out;
+  std::vector<NodeId> nodes;
+  for (NodeId start = 0; start < netlist.size(); ++start) {
+    const GateType t = netlist.type(start);
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    nodes.assign(1, start);
+    if (!extend(netlist, nodes, length + 1, out, max_segments)) break;
+  }
+  return out;
+}
+
+}  // namespace fbt

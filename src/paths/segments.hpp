@@ -1,0 +1,27 @@
+// Segment delay faults (§2.1, refs [24][25]): transition path delay faults
+// on subpaths of a bounded length. A segment fault's detection criterion is
+// the same as a whole-path TPDF's -- every transition fault along the
+// segment detected by one test -- so the Chapter-2 engine processes them
+// unchanged; only the enumeration differs (fixed-length walks from every
+// line instead of source-to-capture paths).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "paths/path.hpp"
+
+namespace fbt {
+
+/// All segments of exactly `length` edges (length+1 nodes), starting at any
+/// line, capped at `max_segments`. Segments of a DAG are enumerated in
+/// start-node order.
+struct SegmentEnumeration {
+  std::vector<Path> segments;
+  bool complete = true;
+};
+SegmentEnumeration enumerate_segments(const Netlist& netlist,
+                                      std::size_t length,
+                                      std::size_t max_segments);
+
+}  // namespace fbt

@@ -1,0 +1,36 @@
+#include "sim/cubesim.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+CubeSim::CubeSim(const Netlist& netlist) : netlist_(&netlist) {
+  require(netlist.finalized(), "CubeSim", "netlist must be finalized");
+  values_.assign(netlist.size(), Val3::kX);
+}
+
+void CubeSim::clear() {
+  std::fill(values_.begin(), values_.end(), Val3::kX);
+}
+
+void CubeSim::eval() {
+  std::vector<Val3> fanins;
+  for (const NodeId id : netlist_->eval_order()) {
+    const Gate& g = netlist_->gate(id);
+    fanins.clear();
+    for (const NodeId f : g.fanins) fanins.push_back(values_[f]);
+    values_[id] = eval_gate3(g.type, fanins);
+  }
+}
+
+std::size_t CubeSim::specified_next_state_count() const {
+  std::size_t count = 0;
+  for (const NodeId ff : netlist_->flops()) {
+    if (values_[netlist_->dff_input(ff)] != Val3::kX) ++count;
+  }
+  return count;
+}
+
+}  // namespace fbt

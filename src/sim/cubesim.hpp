@@ -1,0 +1,37 @@
+// Three-valued (0/1/X) combinational cube simulator.
+//
+// Used for: primary-input cube computation (dissertation §4.3 -- how many
+// state variables does a single input value synchronize), necessary-assignment
+// implication seeds, and any partially-specified evaluation.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/value.hpp"
+
+namespace fbt {
+
+class CubeSim {
+ public:
+  explicit CubeSim(const Netlist& netlist);
+
+  /// Resets every node (including sources) to X.
+  void clear();
+
+  void set_value(NodeId id, Val3 value) { values_[id] = value; }
+  Val3 value(NodeId id) const { return values_[id]; }
+
+  /// Evaluates the combinational core from the current source cube.
+  void eval();
+
+  /// Number of flip-flop D inputs with a specified (non-X) value. Call after
+  /// eval().
+  std::size_t specified_next_state_count() const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<Val3> values_;
+};
+
+}  // namespace fbt

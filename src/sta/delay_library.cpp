@@ -1,0 +1,44 @@
+#include "sta/delay_library.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+DelayLibrary DelayLibrary::standard_018um() {
+  DelayLibrary lib;
+  lib.inv_ = {0.030, 0.027};
+  lib.buf_ = {0.048, 0.044};
+  lib.nand_ = {0.046, 0.040};
+  lib.nor_ = {0.050, 0.058};
+  lib.and_ = {0.062, 0.058};
+  lib.or_ = {0.066, 0.062};
+  lib.xor_ = {0.088, 0.086};
+  lib.xnor_ = {0.092, 0.090};
+  lib.per_extra_fanin_ = 0.006;
+  lib.side_input_penalty_ = 0.006;
+  return lib;
+}
+
+GateDelay DelayLibrary::delay(GateType type, std::size_t fanins) const {
+  GateDelay base;
+  switch (type) {
+    case GateType::kNot: base = inv_; break;
+    case GateType::kBuf: base = buf_; break;
+    case GateType::kNand: base = nand_; break;
+    case GateType::kNor: base = nor_; break;
+    case GateType::kAnd: base = and_; break;
+    case GateType::kOr: base = or_; break;
+    case GateType::kXor: base = xor_; break;
+    case GateType::kXnor: base = xnor_; break;
+    default:
+      throw Error("DelayLibrary::delay: node type has no delay arc");
+  }
+  if (fanins > 2) {
+    const double extra = per_extra_fanin_ * static_cast<double>(fanins - 2);
+    base.rise += extra;
+    base.fall += extra;
+  }
+  return base;
+}
+
+}  // namespace fbt

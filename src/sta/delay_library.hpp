@@ -1,0 +1,47 @@
+// Simplified standard-cell delay library (stand-in for the dissertation's
+// "simplified TSMC 0.18um technology library"; DESIGN.md Substitutions #2).
+//
+// Pin-to-pin delays are fixed per gate type and output transition direction,
+// with a small per-extra-fanin loading term. The smallest delay in the
+// library is the rising delay of an inverter, 0.03 ns -- the "unit delay" the
+// dissertation uses to normalize Table 3.4's diff_unit row. A per-side-input
+// pessimism penalty models the unknown-condition margin a real STA tool
+// carries: side inputs whose second-pattern value is unresolved add
+// `side_input_penalty()` each, so feeding input necessary assignments back
+// into the analysis can only shrink (never grow) path delays, exactly as
+// observed in §3.3.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/gate_type.hpp"
+
+namespace fbt {
+
+struct GateDelay {
+  double rise = 0.0;  ///< ns, to a rising output transition
+  double fall = 0.0;  ///< ns, to a falling output transition
+};
+
+class DelayLibrary {
+ public:
+  /// The default 0.18 um-flavoured library.
+  static DelayLibrary standard_018um();
+
+  /// Base pin-to-pin delay for a gate of `type` with `fanins` inputs.
+  GateDelay delay(GateType type, std::size_t fanins) const;
+
+  /// Pessimism charged per side input with an unresolved second-pattern
+  /// value (ns).
+  double side_input_penalty() const { return side_input_penalty_; }
+
+  /// The library's unit delay (inverter rise), for diff_unit normalization.
+  double unit_delay() const { return inv_.rise; }
+
+ private:
+  GateDelay inv_, buf_, nand_, nor_, and_, or_, xor_, xnor_;
+  double per_extra_fanin_ = 0.0;
+  double side_input_penalty_ = 0.0;
+};
+
+}  // namespace fbt

@@ -1,0 +1,119 @@
+#include "sta/path_selection.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::string path_fault_key(const PathDelayFault& fault) {
+  std::string key = fault.rising ? "R" : "F";
+  for (const NodeId n : fault.path.nodes) {
+    key += ':';
+    key += std::to_string(n);
+  }
+  return key;
+}
+
+PathSelectionResult select_critical_paths(const Netlist& netlist,
+                                          const DelayLibrary& library,
+                                          const PathSelectionConfig& config) {
+  require(config.initial_pool >= config.num_target, "select_critical_paths",
+          "M must be >= N");
+  PathSelectionResult result;
+
+  // Step 1: traditional static timing analysis.
+  const TimingGraph traditional(netlist, library);
+  const std::vector<TimedPath> pool =
+      traditional.most_critical(config.initial_pool);
+
+  // Step 2: initialize Target_PDF with the N most critical potentially
+  // detectable faults (plus ties with the N-th).
+  std::unordered_set<std::string> in_target;
+  std::vector<SelectedPathFault> target;
+  std::deque<std::size_t> worklist;  // indices into `target` to process
+  double nth_delay = 0.0;
+  std::unordered_set<std::string> in_traditional_selection;
+
+  for (const TimedPath& tp : pool) {
+    if (target.size() >= config.num_target && tp.delay < nth_delay) break;
+    NecessaryAnalysis na =
+        input_necessary_assignments(netlist, tp.fault, config.probe_rounds);
+    if (na.undetectable) {
+      ++result.undetectable_dropped;
+      continue;
+    }
+    SelectedPathFault sel;
+    sel.fault = tp.fault;
+    sel.original_delay = tp.delay;
+    sel.input_assignments = std::move(na.input_assignments);
+    sel.case_values = std::move(na.detection_conditions);
+    in_target.insert(path_fault_key(tp.fault));
+    in_traditional_selection.insert(path_fault_key(tp.fault));
+    target.push_back(std::move(sel));
+    worklist.push_back(target.size() - 1);
+    if (target.size() == config.num_target) nth_delay = tp.delay;
+  }
+  result.original_size = target.size();
+
+  // Step 3: recalculate each fault's delay under its own INAs and absorb
+  // paths that are at least as critical under those INAs.
+  while (!worklist.empty() && target.size() < config.max_processed) {
+    const std::size_t idx = worklist.front();
+    worklist.pop_front();
+
+    const TimingGraph constrained(netlist, library, target[idx].case_values);
+    const auto own = constrained.path_delay(target[idx].fault);
+    // The INAs are necessary conditions for detection, so the path must stay
+    // sensitizable under them; fall back to the original delay if the model
+    // disagrees (conservative).
+    target[idx].final_delay = own.value_or(target[idx].original_delay);
+
+    const std::vector<TimedPath> peers =
+        constrained.at_least(target[idx].final_delay, config.expansion_cap);
+    for (const TimedPath& tp : peers) {
+      const std::string key = path_fault_key(tp.fault);
+      if (in_target.count(key)) continue;
+      NecessaryAnalysis na =
+          input_necessary_assignments(netlist, tp.fault, config.probe_rounds);
+      if (na.undetectable) {
+        ++result.undetectable_dropped;
+        continue;
+      }
+      SelectedPathFault sel;
+      sel.fault = tp.fault;
+      // Its delay under *traditional* STA, for reporting.
+      sel.original_delay =
+          traditional.path_delay(tp.fault).value_or(tp.delay);
+      sel.newly_added = in_traditional_selection.count(key) == 0;
+      sel.input_assignments = std::move(na.input_assignments);
+      sel.case_values = std::move(na.detection_conditions);
+      in_target.insert(key);
+      target.push_back(std::move(sel));
+      worklist.push_back(target.size() - 1);
+      if (target.size() >= config.max_processed) break;
+    }
+  }
+
+  // Any fault whose recalculation was cut off by the processing cap keeps a
+  // final delay; compute it now.
+  for (SelectedPathFault& sel : target) {
+    if (sel.final_delay == 0.0) {
+      const TimingGraph constrained(netlist, library, sel.case_values);
+      sel.final_delay =
+          constrained.path_delay(sel.fault).value_or(sel.original_delay);
+    }
+  }
+
+  std::sort(target.begin(), target.end(),
+            [](const SelectedPathFault& a, const SelectedPathFault& b) {
+              return a.final_delay > b.final_delay;
+            });
+  result.final_size = target.size();
+  result.target = std::move(target);
+  return result;
+}
+
+}  // namespace fbt

@@ -1,0 +1,59 @@
+// Critical-path selection with input necessary assignments (dissertation
+// §3.3, Fig. 3.1).
+//
+// 1. Traditional STA ranks the M most critical path delay faults (FPo).
+// 2. Input necessary assignments (INAs) are computed per fault; faults proven
+//    undetectable are dropped; the N most critical potentially detectable
+//    faults (plus delay ties) initialize Target_PDF.
+// 3. Each fault's delay is recalculated by STA under its own INAs; paths at
+//    least as slow under those INAs name additional faults, which join
+//    Target_PDF if potentially detectable -- the transitive closure of the
+//    "at least as critical under my detection conditions" relation.
+// 4. The final N selections are ranked by recalculated delay.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "atpg/necessary.hpp"
+#include "paths/path.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace fbt {
+
+struct PathSelectionConfig {
+  std::size_t num_target = 100;        ///< N
+  std::size_t initial_pool = 1500;     ///< M (>= N)
+  std::size_t expansion_cap = 64;      ///< max new paths examined per fault
+  std::size_t max_processed = 4000;    ///< safety cap on closure size
+  std::size_t probe_rounds = 1;        ///< §3.2 step-4 rounds
+};
+
+struct SelectedPathFault {
+  PathDelayFault fault;
+  double original_delay = 0.0;  ///< traditional STA
+  double final_delay = 0.0;     ///< STA under the fault's own INAs
+  bool newly_added = false;     ///< absent from the traditional selection
+  std::vector<Assignment> input_assignments;  ///< InNecAssign(fp)
+  /// DetCon(fp): all implied line values; fed to the STA's case analysis
+  /// (internal pins included, like set_case_analysis on nets).
+  std::vector<Assignment> case_values;
+};
+
+struct PathSelectionResult {
+  /// Target_PDF after expansion, sorted by final delay (descending).
+  std::vector<SelectedPathFault> target;
+  std::size_t original_size = 0;  ///< |Target_PDF| before recalculation
+  std::size_t final_size = 0;     ///< |Target_PDF| after expansion
+  std::size_t undetectable_dropped = 0;
+};
+
+PathSelectionResult select_critical_paths(const Netlist& netlist,
+                                          const DelayLibrary& library,
+                                          const PathSelectionConfig& config);
+
+/// Stable identity key for a path delay fault (node ids + transition).
+std::string path_fault_key(const PathDelayFault& fault);
+
+}  // namespace fbt

@@ -1,0 +1,82 @@
+// Static timing analysis with optional case analysis (dissertation §3.3.1).
+//
+// The timing graph covers the combinational core: launch points (primary
+// inputs, state variables) to capture points (primary outputs, flip-flop D
+// inputs). Case analysis mirrors PrimeTime's set_case_analysis: an input
+// specified under BOTH patterns contributes a constant (00/11) or a
+// transition (01 rising / 10 falling); three-valued simulation of the two
+// frames then prunes nodes that cannot toggle and edges blocked by a
+// controlling second-pattern side input, and resolves side inputs so their
+// pessimism penalty is dropped.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "atpg/two_frame.hpp"
+#include "sim/value.hpp"
+#include "netlist/netlist.hpp"
+#include "paths/path.hpp"
+#include "sta/delay_library.hpp"
+
+namespace fbt {
+
+/// A ranked critical path: the structural path, the transition at its source,
+/// and its delay under the analysis conditions.
+struct TimedPath {
+  PathDelayFault fault;
+  double delay = 0.0;
+};
+
+class TimingGraph {
+ public:
+  /// `case_values`: assignments on any line of the circuit (inputs, state
+  /// variables, or internal nets -- as with PrimeTime's set_case_analysis,
+  /// which accepts internal pins). Only lines specified under BOTH patterns
+  /// act as case constraints (§3.3.1); others are ignored for timing.
+  TimingGraph(const Netlist& netlist, const DelayLibrary& library,
+              std::span<const Assignment> case_values = {});
+
+  /// Delay of a specific path delay fault under the case conditions, or
+  /// nullopt when the path cannot propagate a transition (a node is constant
+  /// or an edge is blocked).
+  std::optional<double> path_delay(const PathDelayFault& fault) const;
+
+  /// The K most critical path delay faults in non-increasing delay order
+  /// (fewer when the sensitizable graph has fewer paths).
+  std::vector<TimedPath> most_critical(std::size_t k) const;
+
+  /// All sensitizable path delay faults with delay >= threshold, capped at
+  /// `max_paths` (used by the §3.3.2 expansion step).
+  std::vector<TimedPath> at_least(double threshold,
+                                  std::size_t max_paths) const;
+
+  /// Worst arrival time at any capture point (classic STA number).
+  double worst_arrival() const;
+
+  /// True when the node can toggle between the two patterns.
+  bool can_toggle(NodeId node) const { return toggle_[node] != 0; }
+
+ private:
+  // dir: 0 = rising, 1 = falling (transition direction at the node).
+  double edge_delay(NodeId gate, int dir_out) const;
+  bool edge_open(NodeId from, NodeId gate) const;
+  int dir_through(NodeId gate, int dir_in) const {
+    return inverts(netlist_->type(gate)) ? 1 - dir_in : dir_in;
+  }
+
+  void enumerate(std::size_t max_paths, std::optional<double> threshold,
+                 std::vector<TimedPath>& out) const;
+
+  const Netlist* netlist_;
+  DelayLibrary library_;  // by value: small, and callers may pass temporaries
+  std::vector<Val3> val1_;  ///< pattern-1 values under case analysis
+  std::vector<Val3> val2_;  ///< pattern-2 values under case analysis
+  std::vector<std::uint8_t> toggle_;
+  /// best_completion_[2 * node + dir]: max delay from `node` (transitioning
+  /// in direction dir) to any capture point; negative infinity when none.
+  std::vector<double> best_completion_;
+};
+
+}  // namespace fbt

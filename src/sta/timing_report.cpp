@@ -1,0 +1,98 @@
+#include "sta/timing_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+TimingReport::TimingReport(const Netlist& netlist, const TimingGraph& graph,
+                           double clock_period_ns)
+    : netlist_(&netlist), graph_(&graph), period_(clock_period_ns) {
+  require(clock_period_ns > 0, "TimingReport", "clock period must be > 0");
+
+  // Worst arrival per endpoint via a bounded path enumeration: paths come
+  // out in non-increasing delay order, so the first completion seen at an
+  // endpoint is its worst arrival.
+  std::vector<std::uint8_t> seen(netlist.size(), 0);
+  std::size_t endpoint_count = 0;
+  for (const NodeId po : netlist.outputs()) {
+    if (!seen[po]) {
+      seen[po] = 1;
+      ++endpoint_count;
+    }
+  }
+  for (const NodeId ff : netlist.flops()) {
+    const NodeId d = netlist.dff_input(ff);
+    if (!seen[d]) {
+      seen[d] = 1;
+      ++endpoint_count;
+    }
+  }
+  std::fill(seen.begin(), seen.end(), 0);
+
+  const std::size_t cap = std::max<std::size_t>(4096, 64 * endpoint_count);
+  const auto ranked = graph.most_critical(cap);
+  for (const TimedPath& tp : ranked) {
+    const NodeId end = tp.fault.path.nodes.back();
+    if (seen[end]) continue;
+    seen[end] = 1;
+    endpoints_.push_back({end, tp.delay, clock_period_ns - tp.delay});
+    if (endpoints_.size() == endpoint_count) break;
+  }
+  // Endpoints never reached by a sensitizable path have infinite slack; they
+  // are reported with arrival 0.
+  for (const NodeId po : netlist.outputs()) {
+    if (!seen[po]) {
+      seen[po] = 1;
+      endpoints_.push_back({po, 0.0, clock_period_ns});
+    }
+  }
+  for (const NodeId ff : netlist.flops()) {
+    const NodeId d = netlist.dff_input(ff);
+    if (!seen[d]) {
+      seen[d] = 1;
+      endpoints_.push_back({d, 0.0, clock_period_ns});
+    }
+  }
+  std::sort(endpoints_.begin(), endpoints_.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              return a.slack < b.slack;
+            });
+}
+
+double TimingReport::worst_slack() const {
+  return endpoints_.empty() ? period_ : endpoints_.front().slack;
+}
+
+std::size_t TimingReport::violation_count() const {
+  std::size_t count = 0;
+  for (const EndpointSlack& e : endpoints_) count += (e.slack < 0);
+  return count;
+}
+
+std::string TimingReport::to_string(std::size_t k) const {
+  std::ostringstream out;
+  out << "Timing report (period " << period_ << " ns, worst slack "
+      << worst_slack() << " ns, " << violation_count() << " violations)\n";
+  const auto worst_paths = graph_->most_critical(8 * k);
+  std::size_t shown = 0;
+  std::vector<std::uint8_t> covered(netlist_->size(), 0);
+  for (const TimedPath& tp : worst_paths) {
+    const NodeId end = tp.fault.path.nodes.back();
+    if (covered[end]) continue;
+    covered[end] = 1;
+    out << "  endpoint " << netlist_->gate(end).name << ": arrival "
+        << tp.delay << " ns, slack " << (period_ - tp.delay) << " ns\n"
+        << "    path:";
+    for (const NodeId n : tp.fault.path.nodes) {
+      out << ' ' << netlist_->gate(n).name;
+    }
+    out << " (" << (tp.fault.rising ? "rising" : "falling") << " launch)\n";
+    if (++shown == k) break;
+  }
+  return out.str();
+}
+
+}  // namespace fbt

@@ -1,0 +1,48 @@
+// Slack analysis and PrimeTime-style timing reports.
+//
+// Completes the STA surface the dissertation leans on (§3.3 / appendix A's
+// PrimeTime use): per-endpoint arrival and slack against a clock period, the
+// worst path per endpoint, and a formatted report_timing-like text block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/timing_graph.hpp"
+
+namespace fbt {
+
+struct EndpointSlack {
+  NodeId endpoint = kNoNode;
+  double arrival = 0.0;  ///< worst arrival at this capture point (ns)
+  double slack = 0.0;    ///< clock_period - arrival
+};
+
+class TimingReport {
+ public:
+  /// Analyzes `graph` against `clock_period_ns` (case values are whatever
+  /// the graph was built with).
+  TimingReport(const Netlist& netlist, const TimingGraph& graph,
+               double clock_period_ns);
+
+  /// Endpoints sorted by ascending slack (most critical first).
+  const std::vector<EndpointSlack>& endpoints() const { return endpoints_; }
+
+  /// Worst (smallest) slack in the design.
+  double worst_slack() const;
+
+  /// Number of endpoints violating the period (negative slack).
+  std::size_t violation_count() const;
+
+  /// report_timing-style text for the K most critical endpoints, including
+  /// the worst path through each.
+  std::string to_string(std::size_t k = 5) const;
+
+ private:
+  const Netlist* netlist_;
+  const TimingGraph* graph_;
+  double period_;
+  std::vector<EndpointSlack> endpoints_;
+};
+
+}  // namespace fbt

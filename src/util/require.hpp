@@ -1,0 +1,33 @@
+// Error-handling primitives shared by all fbtgen libraries.
+//
+// Invariant violations and bad inputs throw fbt::Error (a std::runtime_error)
+// so that callers -- tests, benches, examples -- can report context instead of
+// aborting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace fbt {
+
+/// Exception type thrown by all fbtgen libraries on contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws fbt::Error with `message` when `condition` is false.
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+/// Throws fbt::Error composed of `context` + ": " + `detail` when false.
+inline void require(bool condition, std::string_view context,
+                    std::string_view detail) {
+  if (!condition) {
+    throw Error(std::string(context) + ": " + std::string(detail));
+  }
+}
+
+}  // namespace fbt

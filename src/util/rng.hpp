@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic procedures in fbtgen (synthetic circuit generation, LFSR seed
+// selection, heuristic tie-breaking) draw from Pcg32 so that experiments are
+// exactly reproducible across runs and platforms. std::mt19937 is avoided
+// because its distribution helpers are not guaranteed to be identical across
+// standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+/// PCG-XSH-RR 64/32 generator (O'Neill 2014). Small, fast, statistically
+/// strong enough for workload generation and heuristic randomization.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint32_t below(std::uint32_t bound) {
+    require(bound != 0, "Pcg32::below: bound must be nonzero");
+    // Debiased modulo (Lemire-style threshold rejection).
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint32_t range(std::uint32_t lo, std::uint32_t hi) {
+    require(lo <= hi, "Pcg32::range: lo must be <= hi");
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability numer/denom.
+  bool chance(std::uint32_t numer, std::uint32_t denom) {
+    require(denom != 0, "Pcg32::chance: denom must be nonzero");
+    return below(denom) < numer;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next() * (1.0 / 4294967296.0); }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next64() {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace fbt

@@ -1,0 +1,40 @@
+// Plain-text table formatting for reproducing the dissertation's tables.
+//
+// Every bench binary prints its result as one of these tables so that
+// EXPERIMENTS.md can quote bench output verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fbt {
+
+/// Column-aligned text table with a title row and a header row.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with box-drawing-free ASCII alignment.
+  std::string to_string() const;
+
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double value, int digits = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fbt

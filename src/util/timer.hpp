@@ -1,0 +1,40 @@
+// Wall-clock timing for experiment reporting.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace fbt {
+
+/// Monotonic stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time formatted as H:MM:SS (matching the dissertation's tables).
+  std::string hms() const { return format_hms(seconds()); }
+
+  /// Formats a duration in seconds as H:MM:SS.
+  static std::string format_hms(double secs) {
+    auto total = static_cast<long long>(secs + 0.5);
+    const long long h = total / 3600;
+    const long long m = (total % 3600) / 60;
+    const long long s = total % 60;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld", h, m, s);
+    return buf;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fbt

@@ -1,0 +1,142 @@
+// Property tests for the two-frame implication engine against exhaustive
+// enumeration on small random circuits.
+#include <gtest/gtest.h>
+
+#include "atpg/implicator.hpp"
+#include "circuits/synth.hpp"
+#include "sim/seqsim.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+struct TinyCircuit {
+  Netlist netlist;
+  std::size_t free_bits;  ///< PI1 + PI2 + PPI1
+};
+
+TinyCircuit make_tiny(std::uint64_t seed) {
+  SynthParams p;
+  p.name = "tiny" + std::to_string(seed);
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_flops = 2;
+  p.num_gates = 14;
+  p.seed = seed;
+  Netlist nl = generate_synthetic(p);
+  const std::size_t bits = 2 * nl.num_inputs() + nl.num_flops();
+  return {std::move(nl), bits};
+}
+
+/// Evaluates both frames for a full free-input assignment and returns the
+/// value of `fn`.
+bool eval_two_frames(const Netlist& nl, std::uint32_t bits, FrameNode fn) {
+  std::vector<std::uint8_t> v1;
+  std::vector<std::uint8_t> v2;
+  std::vector<std::uint8_t> s1;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    v1.push_back((bits >> k++) & 1);
+  }
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    v2.push_back((bits >> k++) & 1);
+  }
+  for (std::size_t i = 0; i < nl.num_flops(); ++i) {
+    s1.push_back((bits >> k++) & 1);
+  }
+  SeqSim frame1(nl);
+  frame1.load_state(s1);
+  frame1.step(v1);
+  if (fn.frame == Frame::k1) return frame1.value(fn.node) != 0;
+  SeqSim frame2(nl);
+  frame2.load_state(frame1.state());
+  frame2.step(v2);
+  return frame2.value(fn.node) != 0;
+}
+
+class ImplicatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Soundness: whatever the implicator derives from a set of free-input
+// assignments must hold in EVERY completion consistent with those inputs.
+TEST_P(ImplicatorProperty, ImplicationsHoldInEveryCompletion) {
+  const TinyCircuit tiny = make_tiny(GetParam());
+  const Netlist& nl = tiny.netlist;
+  Pcg32 rng(GetParam() * 7919 + 3);
+
+  // Free-input coordinates in the same order as eval_two_frames' bits.
+  std::vector<FrameNode> coords;
+  for (const NodeId pi : nl.inputs()) coords.push_back({Frame::k1, pi});
+  for (const NodeId pi : nl.inputs()) coords.push_back({Frame::k2, pi});
+  for (const NodeId ff : nl.flops()) coords.push_back({Frame::k1, ff});
+
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random partial assignment of ~half the free inputs.
+    Implicator imp(nl);
+    std::uint32_t fixed_mask = 0;
+    std::uint32_t fixed_bits = 0;
+    bool consistent = true;
+    for (std::size_t k = 0; k < coords.size(); ++k) {
+      if (!rng.chance(1, 2)) continue;
+      const bool value = rng.chance(1, 2);
+      fixed_mask |= 1u << k;
+      if (value) fixed_bits |= 1u << k;
+      if (!imp.assign(coords[k], value ? Val3::k1 : Val3::k0)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;  // free-input literals alone never conflict,
+                                // but keep the guard for safety
+
+    const auto implied = imp.specified();
+    for (std::uint32_t bits = 0; bits < (1u << tiny.free_bits); ++bits) {
+      if ((bits & fixed_mask) != fixed_bits) continue;
+      for (const Assignment& a : implied) {
+        EXPECT_EQ(eval_two_frames(nl, bits, a.where), a.value)
+            << "seed " << GetParam() << " trial " << trial;
+      }
+    }
+  }
+}
+
+// Conflict soundness: when the implicator reports a conflict for a set of
+// (frame, node, value) constraints, no completion satisfies all of them.
+TEST_P(ImplicatorProperty, ConflictsAreReal) {
+  const TinyCircuit tiny = make_tiny(GetParam());
+  const Netlist& nl = tiny.netlist;
+  Pcg32 rng(GetParam() * 104729 + 11);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random internal-node constraints (these CAN conflict).
+    std::vector<Assignment> constraints;
+    for (int k = 0; k < 4; ++k) {
+      const auto node = static_cast<NodeId>(
+          rng.below(static_cast<std::uint32_t>(nl.size())));
+      const auto frame = rng.chance(1, 2) ? Frame::k1 : Frame::k2;
+      constraints.push_back({{frame, node}, rng.chance(1, 2) != 0});
+    }
+    Implicator imp(nl);
+    if (imp.assign_all(constraints)) continue;  // no conflict claimed
+
+    // Claimed conflict: verify exhaustively.
+    bool satisfiable = false;
+    for (std::uint32_t bits = 0;
+         bits < (1u << tiny.free_bits) && !satisfiable; ++bits) {
+      bool all = true;
+      for (const Assignment& a : constraints) {
+        if (eval_two_frames(nl, bits, a.where) != a.value) {
+          all = false;
+          break;
+        }
+      }
+      satisfiable = all;
+    }
+    EXPECT_FALSE(satisfiable) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicatorProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,111 @@
+#include "atpg/implicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "netlist/bench_io.hpp"
+#include "test_circuits.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(Implicator, ForwardImplication) {
+  const Netlist nl = testing::make_fig1_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k2, nl.find("a")}, Val3::k1));
+  // c = OR(a, b): a = 1 forces c = 1.
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("c")}), Val3::k1);
+  // e = AND(c, d) stays X (d unknown).
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("e")}), Val3::kX);
+}
+
+TEST(Implicator, BackwardAllNonControlling) {
+  const Netlist nl = testing::make_fig1_circuit();
+  Implicator imp(nl);
+  // e = AND(c, d) = 1 forces c = 1 and d = 1; c = OR(a, b) = 1 forces
+  // nothing further (either input could be the 1).
+  EXPECT_TRUE(imp.assign({Frame::k2, nl.find("e")}, Val3::k1));
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("c")}), Val3::k1);
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("d")}), Val3::k1);
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("a")}), Val3::kX);
+}
+
+TEST(Implicator, BackwardUniqueControllingInput) {
+  const Netlist nl = testing::make_fig1_circuit();
+  Implicator imp(nl);
+  // c = OR(a, b) = 1 with b = 0 forces a = 1.
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("b")}, Val3::k0));
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("c")}, Val3::k1));
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("a")}), Val3::k1);
+}
+
+TEST(Implicator, XorBackward) {
+  const Netlist nl = testing::make_toggle_circuit();
+  Implicator imp(nl);
+  // nxt = XOR(in, ff); nxt = 1 with in = 1 forces ff = 0 (frame 1).
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("in")}, Val3::k1));
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("nxt")}, Val3::k1));
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("ff")}), Val3::k0);
+}
+
+TEST(Implicator, BroadsideLinkage) {
+  const Netlist nl = testing::make_toggle_circuit();
+  Implicator imp(nl);
+  // Frame-1 D value implies the frame-2 state variable and vice versa.
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("nxt")}, Val3::k1));
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("ff")}), Val3::k1);
+  // And forward into frame-2 logic: out = NOT(ff) = 0.
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("out")}), Val3::k0);
+}
+
+TEST(Implicator, LinkageBackwardFromFrame2State) {
+  const Netlist nl = testing::make_toggle_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k2, nl.find("ff")}, Val3::k0));
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("nxt")}), Val3::k0);
+}
+
+TEST(Implicator, DetectsConflict) {
+  const Netlist nl = testing::make_fig1_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("a")}, Val3::k1));
+  // c = OR(1, b) = 1; asserting c = 0 conflicts.
+  EXPECT_FALSE(imp.assign({Frame::k1, nl.find("c")}, Val3::k0));
+}
+
+TEST(Implicator, CheckpointRollback) {
+  const Netlist nl = testing::make_fig1_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("b")}, Val3::k0));
+  const auto mark = imp.checkpoint();
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("a")}, Val3::k1));
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("c")}), Val3::k1);
+  imp.rollback(mark);
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("a")}), Val3::kX);
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("c")}), Val3::kX);
+  EXPECT_EQ(imp.value({Frame::k1, nl.find("b")}), Val3::k0);  // kept
+}
+
+TEST(Implicator, SpecifiedInputsFiltersFreeInputs) {
+  const Netlist nl = testing::make_toggle_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("nxt")}, Val3::k1));
+  // nxt is not a free input; ff (frame 2) is not free either. Only free
+  // inputs (in@1, in@2, ff@1) may appear.
+  for (const Assignment& a : imp.specified_inputs()) {
+    EXPECT_TRUE(is_free_input(nl, a.where));
+  }
+}
+
+TEST(Implicator, Fig21ConflictIsFound) {
+  // The dissertation's Fig. 2.1 example: e = 0 under p1 implies c = 0 under
+  // p2 (broadside linkage), conflicting with c = 1 under p2.
+  const Netlist nl = testing::make_fig21_circuit();
+  Implicator imp(nl);
+  EXPECT_TRUE(imp.assign({Frame::k1, nl.find("e")}, Val3::k0));
+  EXPECT_EQ(imp.value({Frame::k2, nl.find("c")}), Val3::k0);
+  EXPECT_FALSE(imp.assign({Frame::k2, nl.find("c")}, Val3::k1));
+}
+
+}  // namespace
+}  // namespace fbt

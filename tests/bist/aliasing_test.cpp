@@ -1,0 +1,29 @@
+#include "bist/aliasing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbt {
+namespace {
+
+TEST(Aliasing, TheoreticalMatchesTwoToMinusN) {
+  EXPECT_DOUBLE_EQ(misr_theoretical_aliasing(8), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(misr_theoretical_aliasing(16), 1.0 / 65536.0);
+}
+
+// Property: the empirical aliasing rate of a short MISR tracks 2^-n within
+// Monte-Carlo noise, and longer MISRs alias strictly less.
+TEST(Aliasing, EmpiricalTracksTheory) {
+  const double p8 = misr_empirical_aliasing(8, 6, 24, 20000, 11);
+  EXPECT_NEAR(p8, 1.0 / 256.0, 2.5e-3);
+  const double p16 = misr_empirical_aliasing(16, 6, 24, 20000, 12);
+  EXPECT_LT(p16, p8);
+  EXPECT_LT(p16, 1.0 / 2000.0);
+}
+
+TEST(Aliasing, DeterministicInSeed) {
+  EXPECT_DOUBLE_EQ(misr_empirical_aliasing(10, 4, 16, 3000, 5),
+                   misr_empirical_aliasing(10, 4, 16, 3000, 5));
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,79 @@
+#include "bist/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(AreaModel, CircuitAreaGrowsWithSize) {
+  const double small = circuit_area(make_s27());
+  const double big = circuit_area(load_benchmark("s1238"));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, 10 * small);
+}
+
+TEST(AreaModel, BistAreaChargesTheInventory) {
+  BistHardwarePlan base;
+  base.lfsr_bits = 32;
+  base.cycle_counter_bits = 12;
+  base.shift_counter_bits = 8;
+  base.segment_counter_bits = 4;
+  base.sequence_counter_bits = 6;
+  const double a = bist_area(base);
+  EXPECT_GT(a, 0.0);
+
+  BistHardwarePlan more = base;
+  more.bias_gates = 10;
+  EXPECT_GT(bist_area(more), a);
+
+  BistHardwarePlan seeded = base;
+  seeded.seed_rom_bits = 100 * 32;
+  EXPECT_GT(bist_area(seeded), a);
+
+  BistHardwarePlan held = base;
+  held.with_hold = true;
+  held.hold_sets = 4;
+  held.set_counter_bits = 3;
+  held.decoder_outputs = 4;
+  EXPECT_GT(bist_area(held), a);
+}
+
+TEST(AreaModel, HoldCostIsSmallRelativeToBase) {
+  // Table 4.4's observation: adding state holding barely moves the area
+  // (shared clock-gating cells, a set counter, a small decoder).
+  BistHardwarePlan base;
+  base.lfsr_bits = 32;
+  base.cycle_counter_bits = 13;
+  base.shift_counter_bits = 8;
+  base.segment_counter_bits = 3;
+  base.sequence_counter_bits = 5;
+  base.bias_gates = 2;
+  base.seed_rom_bits = 50 * 32;
+  BistHardwarePlan held = base;
+  held.with_hold = true;
+  held.hold_sets = 2;
+  held.set_counter_bits = 2;
+  held.decoder_outputs = 2;
+  const double base_area = bist_area(base);
+  const double held_area = bist_area(held);
+  EXPECT_LT(held_area - base_area, 0.1 * base_area);
+}
+
+TEST(AreaModel, OverheadShrinksForLargerCircuits) {
+  BistHardwarePlan plan;
+  plan.lfsr_bits = 32;
+  plan.cycle_counter_bits = 12;
+  plan.shift_counter_bits = 8;
+  plan.segment_counter_bits = 4;
+  plan.sequence_counter_bits = 6;
+  const double hw = bist_area(plan);
+  const double small = hw / circuit_area(load_benchmark("s1238"));
+  const double large = hw / circuit_area(load_benchmark("s13207"));
+  EXPECT_GT(small, large);
+}
+
+}  // namespace
+}  // namespace fbt

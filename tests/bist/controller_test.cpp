@@ -1,0 +1,113 @@
+#include "bist/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fbt {
+namespace {
+
+BistControllerPlan small_plan() {
+  BistControllerPlan plan;
+  plan.shift_register_size = 5;
+  plan.scan_length = 3;
+  plan.sequences = {{4, 2}, {2}};  // two sequences; first has two segments
+  plan.q = 1;
+  return plan;
+}
+
+TEST(Controller, RunsTheFullModeSchedule) {
+  BistController ctrl(small_plan());
+  std::map<BistMode, std::size_t> cycles;
+  std::size_t guard = 0;
+  while (!ctrl.done()) {
+    ASSERT_LT(guard++, 1000u);
+    ++cycles[ctrl.tick()];
+  }
+  // Circuit init: once per sequence (2 x 3 cycles).
+  EXPECT_EQ(cycles[BistMode::kCircuitInit], 2 * 3u);
+  // Seed load + SR init: once per segment (3 segments).
+  EXPECT_EQ(cycles[BistMode::kSeedLoad], 3u);
+  EXPECT_EQ(cycles[BistMode::kShiftRegInit], 3 * 5u);
+  // Apply: total functional cycles = 4 + 2 + 2.
+  EXPECT_EQ(cycles[BistMode::kApply], 8u);
+  // Circular shift after every capture (q = 1 -> one capture per 2 cycles):
+  // 4 captures x 3 cycles.
+  EXPECT_EQ(cycles[BistMode::kCircularShift], 4 * 3u);
+  EXPECT_EQ(ctrl.total_cycles(),
+            cycles[BistMode::kCircuitInit] + cycles[BistMode::kSeedLoad] +
+                cycles[BistMode::kShiftRegInit] + cycles[BistMode::kApply] +
+                cycles[BistMode::kCircularShift]);
+}
+
+TEST(Controller, ClockGatingFollowsTheModes) {
+  BistController ctrl(small_plan());
+  std::size_t guard = 0;
+  while (!ctrl.done()) {
+    ASSERT_LT(guard++, 1000u);
+    const BistMode mode = ctrl.mode();
+    const ClockEnables en = ctrl.enables();
+    switch (mode) {
+      case BistMode::kSeedLoad:
+      case BistMode::kShiftRegInit:
+        EXPECT_TRUE(en.tpg);
+        EXPECT_FALSE(en.circuit);  // state held during reseeding (§4.4)
+        break;
+      case BistMode::kApply:
+        EXPECT_TRUE(en.tpg);
+        EXPECT_TRUE(en.circuit);
+        break;
+      case BistMode::kCircularShift:
+        EXPECT_FALSE(en.tpg);
+        EXPECT_TRUE(en.circuit);
+        break;
+      default:
+        break;
+    }
+    ctrl.tick();
+  }
+}
+
+TEST(Controller, CapturesEverySecondApplyCycleWhenQIsOne) {
+  BistController ctrl(small_plan());
+  std::size_t applies = 0;
+  std::size_t captures = 0;
+  std::size_t guard = 0;
+  while (!ctrl.done()) {
+    ASSERT_LT(guard++, 1000u);
+    if (ctrl.mode() == BistMode::kApply) {
+      ++applies;
+      if (ctrl.at_capture()) ++captures;
+    }
+    ctrl.tick();
+  }
+  EXPECT_EQ(applies, 8u);
+  EXPECT_EQ(captures, 4u);
+}
+
+TEST(Controller, FloplessBlockSkipsShiftPhases) {
+  BistControllerPlan plan;
+  plan.shift_register_size = 4;
+  plan.scan_length = 0;  // no flops: no circuit init, no circular shift
+  plan.sequences = {{4}};
+  BistController ctrl(plan);
+  std::map<BistMode, std::size_t> cycles;
+  std::size_t guard = 0;
+  while (!ctrl.done()) {
+    ASSERT_LT(guard++, 100u);
+    ++cycles[ctrl.tick()];
+  }
+  EXPECT_EQ(cycles[BistMode::kCircuitInit], 0u);
+  EXPECT_EQ(cycles[BistMode::kCircularShift], 0u);
+  EXPECT_EQ(cycles[BistMode::kApply], 4u);
+}
+
+TEST(Controller, EmptyPlanIsDoneImmediately) {
+  BistController ctrl(BistControllerPlan{});
+  EXPECT_TRUE(ctrl.done());
+  EXPECT_EQ(ctrl.tick(), BistMode::kDone);
+  EXPECT_EQ(ctrl.total_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace fbt

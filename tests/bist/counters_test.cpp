@@ -1,0 +1,90 @@
+#include "bist/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbt {
+namespace {
+
+TEST(Counters, BitsForCoversTheRange) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(1000), 10u);
+  EXPECT_EQ(bits_for(1023), 10u);
+  EXPECT_EQ(bits_for(1024), 11u);
+}
+
+TEST(Counters, UpCounterWraps) {
+  UpCounter c(3);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(i));
+    c.tick();
+  }
+  EXPECT_EQ(c.value(), 0u);  // wrapped at 2^3
+}
+
+// Fig. 4.6: the apply strobe fires every 2^q cycles; with q = 1 it is simply
+// the inverted low bit, so a test is applied every 2 clock cycles.
+TEST(Counters, ApplySignalEveryTwoCyclesWhenQIsOne) {
+  UpCounter c(8);
+  int strobes = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (apply_signal(c, 1)) ++strobes;
+    c.tick();
+  }
+  EXPECT_EQ(strobes, 8);
+}
+
+TEST(Counters, ApplySignalPeriodMatchesQ) {
+  for (unsigned q = 1; q <= 4; ++q) {
+    UpCounter c(10);
+    int strobes = 0;
+    const int cycles = 1 << 6;
+    for (int i = 0; i < cycles; ++i) {
+      if (apply_signal(c, q)) ++strobes;
+      c.tick();
+    }
+    EXPECT_EQ(strobes, cycles >> q) << "q=" << q;
+  }
+}
+
+// Fig. 4.11: hold enable every 2^h cycles; §4.6 uses h = 2 (every 4 cycles).
+TEST(Counters, HoldEnableEveryFourCyclesWhenHIsTwo) {
+  UpCounter c(10);
+  std::vector<int> fired;
+  for (int i = 0; i < 12; ++i) {
+    if (hold_enable(c, 2)) fired.push_back(i);
+    c.tick();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 4, 8}));
+}
+
+// The capture transition of a test applied at even cycle k is k+1 -> k+2;
+// with h >= 1 the hold strobe fires only at even cycles, so it can never
+// coincide with a capture transition (§4.5.1's requirement).
+TEST(Counters, HoldNeverCoincidesWithCapture) {
+  UpCounter c(12);
+  for (int i = 0; i < 256; ++i) {
+    const bool hold = hold_enable(c, 2);
+    const bool is_capture_cycle = (c.value() % 2) == 1;
+    EXPECT_FALSE(hold && is_capture_cycle);
+    c.tick();
+  }
+}
+
+TEST(Counters, DecoderSelectsExactlyOneLine) {
+  SetDecoder dec(6);
+  UpCounter set_counter(dec.select_bits());
+  for (std::size_t sel = 0; sel < 6; ++sel) {
+    int active = 0;
+    for (std::size_t line = 0; line < dec.outputs(); ++line) {
+      if (dec.line(line, sel, /*hold_en=*/true)) ++active;
+      EXPECT_FALSE(dec.line(line, sel, /*hold_en=*/false));
+    }
+    EXPECT_EQ(active, 1);
+  }
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,79 @@
+#include "bist/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+// Property sweep (Fig. 4.3): with the primitive polynomial table, an n-stage
+// LFSR cycles through all 2^n - 1 nonzero states.
+class LfsrPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrPeriod, IsMaximal) {
+  const unsigned n = GetParam();
+  Lfsr lfsr(n);
+  lfsr.seed(1);
+  const std::uint32_t start = lfsr.state();
+  const std::uint64_t expected = (1ULL << n) - 1;
+  std::uint64_t period = 0;
+  do {
+    lfsr.step();
+    ++period;
+    ASSERT_NE(lfsr.state(), 0u) << "LFSR locked up at period " << period;
+    ASSERT_LE(period, expected);
+  } while (lfsr.state() != start);
+  EXPECT_EQ(period, expected) << "stages=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(StagesTwoToEighteen, LfsrPeriod,
+                         ::testing::Range(2u, 19u));
+
+TEST(Lfsr, ZeroSeedIsRepaired) {
+  Lfsr lfsr(8);
+  lfsr.seed(0);
+  EXPECT_NE(lfsr.state(), 0u);
+  lfsr.seed(256);  // == 0 mod 2^8
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, DeterministicFromSeed) {
+  Lfsr a(32);
+  Lfsr b(32);
+  a.seed(0xdeadbeef);
+  b.seed(0xdeadbeef);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.step(), b.step());
+  }
+}
+
+TEST(Lfsr, OutputIsLastStage) {
+  Lfsr lfsr(4);
+  lfsr.seed(0b1000);
+  EXPECT_TRUE(lfsr.output());
+  lfsr.seed(0b0111);
+  EXPECT_FALSE(lfsr.output());
+}
+
+TEST(Lfsr, BitBalanceIsRoughlyFair) {
+  Lfsr lfsr(32);
+  lfsr.seed(12345);
+  std::size_t ones = 0;
+  const std::size_t trials = 40000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    lfsr.step();
+    if (lfsr.output()) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.02);
+}
+
+TEST(Lfsr, RejectsUnsupportedSizes) {
+  EXPECT_THROW(Lfsr(1), Error);
+  EXPECT_THROW(Lfsr(33), Error);
+}
+
+}  // namespace
+}  // namespace fbt

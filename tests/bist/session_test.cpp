@@ -1,0 +1,98 @@
+#include "bist/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+#include "fault/fault_sim.hpp"
+
+namespace fbt {
+namespace {
+
+struct SessionFixture {
+  Netlist netlist;
+  ScanChains scan;
+  FunctionalBistResult plan;
+  TransitionFaultList faults;
+  std::vector<std::uint32_t> detect;
+
+  explicit SessionFixture(const std::string& name)
+      : netlist(load_benchmark(name)),
+        scan(netlist, ScanConfig{}),
+        faults(TransitionFaultList::collapsed(netlist)) {
+    FunctionalBistConfig cfg;
+    cfg.segment_length = 120;
+    cfg.max_segment_failures = 2;
+    cfg.max_sequence_failures = 2;
+    cfg.bounded = false;
+    cfg.rng_seed = 21;
+    FunctionalBistGenerator gen(netlist, cfg);
+    detect.assign(faults.size(), 0);
+    plan = gen.run(faults, detect);
+  }
+};
+
+TEST(Session, GoldenSignatureIsDeterministic) {
+  SessionFixture fx("s27");
+  ASSERT_GT(fx.plan.num_tests, 0u);
+  const SessionReport a =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+  const SessionReport b =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.tests_applied, fx.plan.num_tests);
+  EXPECT_GT(a.shift_cycles, 0u);
+  EXPECT_GT(a.functional_cycles, 0u);
+  EXPECT_GT(a.total_cycles, a.functional_cycles + a.shift_cycles);
+}
+
+TEST(Session, DetectedFaultChangesTheSignature) {
+  SessionFixture fx("s27");
+  ASSERT_GT(fx.plan.num_tests, 0u);
+  const SessionReport golden =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+
+  // Pick faults the generated tests detect; their injection must change the
+  // signature (the MISR sees a differing response stream).
+  std::size_t checked = 0;
+  std::size_t flagged = 0;
+  for (std::size_t f = 0; f < fx.faults.size() && checked < 10; ++f) {
+    if (fx.detect[f] == 0) continue;
+    ++checked;
+    const TransitionFault& tf = fx.faults.fault(f);
+    const SessionReport faulty = run_bist_session(
+        fx.netlist, fx.plan, fx.scan, SessionConfig{}, tf.line, tf.rising);
+    if (faulty.signature != golden.signature) ++flagged;
+  }
+  ASSERT_GT(checked, 0u);
+  // The session's temporal gross-delay model is slightly stronger than the
+  // two-pattern abstraction, so allow rare aliasing but require the vast
+  // majority to flag.
+  EXPECT_GE(flagged + 1, checked);
+}
+
+TEST(Session, FaultFreeInjectionSiteNoNodeMatchesGolden) {
+  SessionFixture fx("s27");
+  const SessionReport golden =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+  const SessionReport same = run_bist_session(
+      fx.netlist, fx.plan, fx.scan, SessionConfig{}, kNoNode, true);
+  EXPECT_EQ(golden.signature, same.signature);
+}
+
+TEST(Session, CycleAccountingMatchesPlan) {
+  SessionFixture fx("s298");
+  const SessionReport report =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+  std::size_t functional = 0;
+  for (const auto& seq : fx.plan.sequences) {
+    for (const auto& seg : seq.segments) functional += seg.length;
+  }
+  EXPECT_EQ(report.functional_cycles, functional);
+  EXPECT_EQ(report.shift_cycles,
+            fx.plan.num_tests * fx.scan.longest_length());
+}
+
+}  // namespace
+}  // namespace fbt

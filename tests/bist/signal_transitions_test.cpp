@@ -1,0 +1,124 @@
+#include "bist/signal_transitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/embedded.hpp"
+#include "bist/functional_bist.hpp"
+#include "circuits/registry.hpp"
+#include "circuits/synth.hpp"
+#include "fault/fault.hpp"
+#include "sim/seqsim.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(TransitionPattern, SubsetSemantics) {
+  TransitionPattern a(10);
+  TransitionPattern b(10);
+  a.mark(2, true);
+  a.mark(5, false);
+  b.mark(2, true);
+  b.mark(5, false);
+  b.mark(7, true);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  // Direction matters: the same line with the opposite direction is not a
+  // subset.
+  TransitionPattern c(10);
+  c.mark(2, false);
+  EXPECT_FALSE(c.subset_of(b));
+}
+
+TEST(TransitionPattern, MadeFromValueVectors) {
+  const std::vector<std::uint8_t> prev{0, 1, 1, 0};
+  const std::vector<std::uint8_t> cur{1, 1, 0, 0};
+  const TransitionPattern p = make_transition_pattern(prev, cur);
+  EXPECT_EQ(p.switching_lines(), 2u);
+  TransitionPattern expected(4);
+  expected.mark(0, true);   // 0 -> 1
+  expected.mark(2, false);  // 1 -> 0
+  EXPECT_TRUE(p.subset_of(expected));
+  EXPECT_TRUE(expected.subset_of(p));
+}
+
+TEST(TransitionPatternStore, RecordsAndAdmits) {
+  TransitionPatternStore store(16);
+  TransitionPattern big(8);
+  big.mark(1, true);
+  big.mark(3, false);
+  big.mark(6, true);
+  EXPECT_TRUE(store.record(big));
+  // A subset pattern is admitted and not stored again.
+  TransitionPattern small(8);
+  small.mark(1, true);
+  small.mark(6, true);
+  EXPECT_TRUE(store.admits(small));
+  EXPECT_FALSE(store.record(small));
+  // A pattern with a new direction is rejected.
+  TransitionPattern other(8);
+  other.mark(1, false);
+  EXPECT_FALSE(store.admits(other));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(TransitionPatternStore, CapIsHonoured) {
+  TransitionPatternStore store(2);
+  for (int i = 0; i < 5; ++i) {
+    TransitionPattern p(16);
+    p.mark(static_cast<NodeId>(i), true);
+    store.record(p);
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.saturated());
+}
+
+// Integration property (§5.1): generation under the pattern bound emits only
+// cycles whose PST is functionally observed -- and therefore its tests are a
+// subset of what SWA-bounded generation can reach.
+TEST(TransitionPatternStore, PatternBoundedGenerationIsAdmissible) {
+  const Netlist target = load_benchmark("s298");
+  const Netlist driver = load_benchmark("s386");
+  SwaCalibrationConfig cal;
+  cal.num_sequences = 4;
+  cal.sequence_length = 600;
+  const FunctionalProfile profile =
+      measure_functional_profile(target, driver, cal, 2048);
+  ASSERT_GT(profile.patterns.size(), 0u);
+
+  FunctionalBistConfig cfg;
+  cfg.segment_length = 200;
+  cfg.max_segment_failures = 2;
+  cfg.max_sequence_failures = 2;
+  cfg.bounded = true;
+  cfg.swa_bound_percent = profile.peak_percent;
+  cfg.pattern_store = &profile.patterns;
+  FunctionalBistGenerator gen(target, cfg);
+  const TransitionFaultList faults = TransitionFaultList::collapsed(target);
+  std::vector<std::uint32_t> detect(faults.size(), 0);
+  const FunctionalBistResult run = gen.run(faults, detect);
+
+  // Replay the committed sequences: every applied cycle's PST (beyond the
+  // first of each sequence) must be admitted by the functional store.
+  Tpg tpg(target, cfg.tpg);
+  for (const SequenceRecord& seq : run.sequences) {
+    SeqSim sim(target);
+    sim.load_reset_state();
+    bool first_cycle = true;
+    for (const SegmentRecord& seg : seq.segments) {
+      tpg.reseed(seg.seed);
+      for (std::size_t c = 0; c < seg.length; ++c) {
+        const SeqStep step = sim.step(tpg.next_vector());
+        if (!first_cycle && step.toggled_lines > 0) {
+          EXPECT_TRUE(profile.patterns.admits(
+              make_transition_pattern(sim.prev_values(), sim.values())));
+        }
+        first_cycle = false;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbt

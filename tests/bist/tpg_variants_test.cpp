@@ -1,0 +1,81 @@
+#include "bist/tpg_variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(WeightedTpg, WeightsAreRealizedEmpirically) {
+  const Netlist nl = load_benchmark("s298");
+  WeightedTpg tpg(nl, 24, 3, 7);
+  ASSERT_EQ(tpg.num_sets(), 3u);
+  // Set 0 is balanced.
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    EXPECT_EQ(tpg.weight(0, i), 4u);
+  }
+  // Exercise each set and check the empirical P(1) against weight/8.
+  for (std::size_t set = 0; set < 3; ++set) {
+    // reseed cycles through the sets in order.
+    WeightedTpg fresh(nl, 24, 3, 7);
+    for (std::size_t skip = 0; skip < set; ++skip) fresh.reseed(1);
+    fresh.reseed(12345);
+    ASSERT_EQ(fresh.active_set(), set);
+    const std::size_t trials = 8000;
+    std::vector<std::size_t> ones(nl.num_inputs(), 0);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto v = fresh.next_vector();
+      for (std::size_t i = 0; i < v.size(); ++i) ones[i] += v[i];
+    }
+    for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+      const double expected = fresh.weight(set, i) / 8.0;
+      EXPECT_NEAR(static_cast<double>(ones[i]) / trials, expected, 0.04)
+          << "set " << set << " input " << i;
+    }
+  }
+}
+
+TEST(WeightedTpg, ReseedCyclesThroughSets) {
+  const Netlist nl = make_s27();
+  WeightedTpg tpg(nl, 16, 4, 3);
+  for (int round = 0; round < 8; ++round) {
+    tpg.reseed(100 + round);
+    EXPECT_EQ(tpg.active_set(), static_cast<std::size_t>(round % 4));
+  }
+}
+
+TEST(BitFlippingTpg, DeterministicAndDifferentFromPlainLfsr) {
+  const Netlist nl = make_s27();
+  BitFlippingTpg a(nl, 16, 5);
+  BitFlippingTpg b(nl, 16, 5);
+  a.reseed(77);
+  b.reseed(77);
+  bool any_flip_effect = false;
+  Lfsr plain(16);
+  plain.seed(77);
+  for (int c = 0; c < 64; ++c) {
+    const auto va = a.next_vector();
+    EXPECT_EQ(va, b.next_vector());
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      plain.step();
+      if (va[i] != (plain.output() ? 1 : 0)) any_flip_effect = true;
+    }
+  }
+  EXPECT_TRUE(any_flip_effect);  // the flip function actually bites
+}
+
+TEST(PatternSource, CubeAdapterMatchesTpg) {
+  const Netlist nl = make_s27();
+  CubeTpgSource source(nl, {});
+  Tpg reference(nl, {});
+  source.reseed(9);
+  reference.reseed(9);
+  for (int c = 0; c < 50; ++c) {
+    EXPECT_EQ(source.next_vector(), reference.next_vector());
+  }
+}
+
+}  // namespace
+}  // namespace fbt

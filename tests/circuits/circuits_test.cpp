@@ -1,0 +1,141 @@
+#include "circuits/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "circuits/synth.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(Synth, IsDeterministic) {
+  SynthParams p;
+  p.name = "det";
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flops = 9;
+  p.num_gates = 120;
+  p.seed = 42;
+  const Netlist a = generate_synthetic(p);
+  const Netlist b = generate_synthetic(p);
+  EXPECT_EQ(write_bench(a), write_bench(b));
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  SynthParams p;
+  p.name = "det";
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flops = 9;
+  p.num_gates = 120;
+  p.seed = 42;
+  const Netlist a = generate_synthetic(p);
+  p.seed = 43;
+  const Netlist b = generate_synthetic(p);
+  EXPECT_NE(write_bench(a), write_bench(b));
+}
+
+TEST(Synth, MatchesRequestedInterface) {
+  SynthParams p;
+  p.name = "iface";
+  p.num_inputs = 11;
+  p.num_outputs = 7;
+  p.num_flops = 23;
+  p.num_gates = 300;
+  p.seed = 5;
+  const Netlist nl = generate_synthetic(p);
+  EXPECT_EQ(nl.num_inputs(), 11u);
+  EXPECT_EQ(nl.num_outputs(), 7u);
+  EXPECT_EQ(nl.num_flops(), 23u);
+  EXPECT_EQ(nl.num_gates(), 300u);
+}
+
+TEST(Synth, EverySourceDrivesLogic) {
+  SynthParams p;
+  p.name = "drive";
+  p.num_inputs = 14;
+  p.num_outputs = 6;
+  p.num_flops = 18;
+  p.num_gates = 250;
+  p.seed = 77;
+  const Netlist nl = generate_synthetic(p);
+  for (const NodeId pi : nl.inputs()) {
+    EXPECT_FALSE(nl.fanouts(pi).empty()) << "dead input " << pi;
+  }
+  for (const NodeId ff : nl.flops()) {
+    EXPECT_FALSE(nl.fanouts(ff).empty()) << "dead state variable " << ff;
+  }
+}
+
+TEST(Synth, DeadLogicIsRare) {
+  SynthParams p;
+  p.name = "dead";
+  p.num_inputs = 10;
+  p.num_outputs = 10;
+  p.num_flops = 30;
+  p.num_gates = 500;
+  p.seed = 3;
+  const Netlist nl = generate_synthetic(p);
+  std::size_t dead = 0;
+  for (const NodeId id : nl.eval_order()) {
+    if (nl.fanouts(id).empty() && !nl.is_output(id)) ++dead;
+  }
+  EXPECT_LE(dead, nl.num_gates() / 20);  // < 5% fanout-free non-outputs
+}
+
+TEST(Buffers, FeedsInputsStraightThrough) {
+  const Netlist nl = make_buffers_block(3);
+  EXPECT_EQ(nl.num_inputs(), 3u);
+  EXPECT_EQ(nl.num_outputs(), 3u);
+  EXPECT_EQ(nl.num_flops(), 0u);
+}
+
+TEST(Registry, KnowsS27AsGenuine) {
+  const BenchmarkSpec& spec = benchmark_spec("s27");
+  EXPECT_FALSE(spec.synthetic);
+  const Netlist nl = load_benchmark("s27");
+  EXPECT_EQ(write_bench(nl), write_bench(make_s27()));
+}
+
+TEST(Registry, Chapter4InterfaceCountsMatchTable42) {
+  // Dissertation Table 4.2: (name, N_PO, N_PI, N_SV).
+  const struct {
+    const char* name;
+    std::size_t npo, npi, nsv;
+  } kRows[] = {
+      {"s35932e", 320, 35, 1728}, {"s38584e", 278, 12, 1164},
+      {"b14", 54, 32, 215},       {"b20", 22, 32, 430},
+      {"spi", 45, 45, 229},       {"wb_dma", 215, 215, 523},
+      {"systemcaes", 129, 258, 670},
+      {"systemcdes", 65, 130, 190},
+      {"des_area", 64, 239, 128},
+      {"aes_core", 129, 258, 530},
+      {"wb_conmax", 1416, 1128, 770},
+  };
+  for (const auto& row : kRows) {
+    const BenchmarkSpec& spec = benchmark_spec(row.name);
+    EXPECT_EQ(spec.num_outputs, row.npo) << row.name;
+    EXPECT_EQ(spec.num_inputs, row.npi) << row.name;
+    EXPECT_EQ(spec.num_flops, row.nsv) << row.name;
+  }
+}
+
+TEST(Registry, LoadsEveryEntry) {
+  for (const BenchmarkSpec& spec : benchmark_registry()) {
+    if (spec.num_gates > 1500) continue;  // keep the unit test fast
+    const Netlist nl = load_benchmark(spec.name);
+    EXPECT_EQ(nl.num_inputs(), spec.num_inputs) << spec.name;
+    EXPECT_EQ(nl.num_outputs(), spec.num_outputs) << spec.name;
+    EXPECT_EQ(nl.num_flops(), spec.num_flops) << spec.name;
+  }
+}
+
+TEST(Registry, ThrowsOnUnknownName) {
+  EXPECT_THROW(benchmark_spec("s99999"), Error);
+  EXPECT_THROW(load_benchmark("nope"), Error);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,104 @@
+// Reproduces the didactic examples of dissertation Chapter 1 (Figs. 1.1-1.7)
+// as executable checks on the fault model and simulator.
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+#include "paths/path.hpp"
+#include "test_circuits.hpp"
+
+namespace fbt {
+namespace {
+
+// Fig. 1.3: the two-pattern test <001, 101> on "abd" detects the slow-to-rise
+// transition fault at c (observed as 0 instead of 1 at e).
+TEST(Chapter1, Fig13TransitionFaultTest) {
+  const Netlist nl = testing::make_fig1_circuit();
+  BroadsideFaultSim sim(nl);
+  BroadsideTest test;
+  test.v1 = {0, 0, 1};  // a b d
+  test.v2 = {1, 0, 1};
+  EXPECT_TRUE(sim.detects(test, {nl.find("c"), true}));
+  // The same test launches a rising transition at a as well.
+  EXPECT_TRUE(sim.detects(test, {nl.find("a"), true}));
+  // But not the falling fault at c (wrong launch polarity).
+  EXPECT_FALSE(sim.detects(test, {nl.find("c"), false}));
+}
+
+// Fig. 1.4: the robust test <0010, 1010> on "abdf" detects the path delay
+// fault along a-c-e-g with a rising source transition; under the transition
+// path delay fault model this means every transition fault along the path is
+// detected by the same test.
+TEST(Chapter1, Fig14RobustTestDetectsAllPathTransitionFaults) {
+  const Netlist nl = testing::make_fig2_circuit();
+  BroadsideFaultSim sim(nl);
+  BroadsideTest test;
+  test.v1 = {0, 0, 1, 0};  // a b d f
+  test.v2 = {1, 0, 1, 0};
+
+  PathDelayFault fp;
+  fp.path.nodes = {nl.find("a"), nl.find("c"), nl.find("e"), nl.find("g")};
+  fp.rising = true;
+  const auto trs = transition_faults_along(nl, fp);
+  ASSERT_EQ(trs.size(), 4u);
+  for (const TransitionFault& tf : trs) {
+    EXPECT_TRUE(tf.rising);  // OR/AND chain: no inversions
+    EXPECT_TRUE(sim.detects(test, tf)) << fault_name(nl, tf);
+  }
+}
+
+// Fig. 1.5: the non-robust variant <0011, 1010> launches the transition along
+// a-c-e, but the falling off-path input f holds g statically at 1, so no
+// transition appears at g in a zero-delay simulation: the transition fault at
+// g is NOT detected. This is exactly why tests for transition path delay
+// faults must be *strong* non-robust tests (§2.2) -- the plain non-robust
+// test would miss a delay accumulating at the end of the path.
+TEST(Chapter1, Fig15NonRobustTestMissesPathEndTransitionFault) {
+  const Netlist nl = testing::make_fig2_circuit();
+  BroadsideFaultSim sim(nl);
+  BroadsideTest test;
+  test.v1 = {0, 0, 1, 1};
+  test.v2 = {1, 0, 1, 0};
+  EXPECT_TRUE(sim.detects(test, {nl.find("a"), true}));
+  EXPECT_TRUE(sim.detects(test, {nl.find("c"), true}));
+  EXPECT_TRUE(sim.detects(test, {nl.find("e"), true}));
+  EXPECT_FALSE(sim.detects(test, {nl.find("g"), true}));
+}
+
+// Figs. 1.6/1.7 phenomenon: with reconvergent fanout of opposite inversion
+// polarity, a test can sensitize a path non-robustly while the transition
+// fault at the stem goes undetected because its fault effects cancel.
+TEST(Chapter1, Fig17ReconvergenceMasksTransitionFault) {
+  const Netlist nl = testing::make_reconvergent_circuit();
+  BroadsideFaultSim sim(nl);
+  // d: 0 -> 1 with e = 0 in both patterns.
+  // Good circuit p2: f = NOT(1) = 0, g = OR(1, 0) = 1, h = AND(0, 1) = 0.
+  // Faulty circuit (d slow-to-rise, d stuck at 0 in p2):
+  //   f = 1, g = OR(0, 0) = 0, h = AND(1, 0) = 0 -- identical at h.
+  BroadsideTest test;
+  test.v1 = {0, 0};  // d e
+  test.v2 = {1, 0};
+  EXPECT_FALSE(sim.detects(test, {nl.find("d"), true}));
+  // Yet the falling fault on the inverting branch IS detected by the same
+  // test (f stuck at 1 in p2 lifts h to 1 while the good h is 0): the test
+  // exercises the logic but misses the stem fault -- the Fig. 1.7 situation.
+  EXPECT_TRUE(sim.detects(test, {nl.find("f"), false}));
+}
+
+// The transition path delay fault model closes that gap: a test for the TPDF
+// along d-g-h must detect the transition fault at d too, and no such test
+// exists for this cancellation structure... unless e breaks the
+// reconvergence. Verify TR(fp) polarity bookkeeping on the inverting branch.
+TEST(Chapter1, TransitionPolarityFollowsInversions) {
+  const Netlist nl = testing::make_reconvergent_circuit();
+  PathDelayFault fp;
+  fp.path.nodes = {nl.find("d"), nl.find("f"), nl.find("h")};
+  fp.rising = true;
+  const auto trs = transition_faults_along(nl, fp);
+  ASSERT_EQ(trs.size(), 3u);
+  EXPECT_TRUE(trs[0].rising);    // d rises
+  EXPECT_FALSE(trs[1].rising);   // f = NOT(d) falls
+  EXPECT_FALSE(trs[2].rising);   // h = AND(f, g): no inversion
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,67 @@
+// Property: structural-equivalence collapsing is detection-preserving --
+// a collapsed-away fault is detected by a test exactly when its
+// representative is.
+#include <gtest/gtest.h>
+
+#include "circuits/synth.hpp"
+#include "fault/fault_sim.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+class CollapseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseProperty, EquivalentFaultsHaveIdenticalDetection) {
+  SynthParams p;
+  p.name = "collapse" + std::to_string(GetParam());
+  p.num_inputs = 6;
+  p.num_outputs = 4;
+  p.num_flops = 4;
+  p.num_gates = 80;
+  p.seed = GetParam();
+  const Netlist nl = generate_synthetic(p);
+
+  // Identify the collapsed pairs exactly as the collapser does.
+  struct Pair {
+    TransitionFault removed;
+    TransitionFault representative;
+  };
+  std::vector<Pair> pairs;
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type != GateType::kBuf && g.type != GateType::kNot) continue;
+    if (nl.fanouts(g.fanins[0]).size() != 1) continue;
+    if (nl.is_output(g.fanins[0])) continue;
+    const bool flip = g.type == GateType::kNot;
+    for (const bool rising : {true, false}) {
+      pairs.push_back({{id, rising}, {g.fanins[0], flip ? !rising : rising}});
+    }
+  }
+  if (pairs.empty()) GTEST_SKIP() << "no collapsible chains in this seed";
+
+  BroadsideFaultSim sim(nl);
+  Pcg32 rng(GetParam() ^ 0xabcd);
+  for (int t = 0; t < 120; ++t) {
+    BroadsideTest test;
+    for (std::size_t k = 0; k < nl.num_flops(); ++k) {
+      test.scan_state.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) {
+      test.v1.push_back(rng.chance(1, 2));
+      test.v2.push_back(rng.chance(1, 2));
+    }
+    for (const Pair& pair : pairs) {
+      EXPECT_EQ(sim.detects(test, pair.removed),
+                sim.detects(test, pair.representative))
+          << fault_name(nl, pair.removed) << " vs "
+          << fault_name(nl, pair.representative) << " (test " << t << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace fbt

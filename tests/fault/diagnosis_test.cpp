@@ -1,0 +1,107 @@
+#include "fault/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+TestSet random_tests(const Netlist& nl, std::size_t count, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  TestSet tests;
+  for (std::size_t i = 0; i < count; ++i) {
+    BroadsideTest t;
+    for (std::size_t k = 0; k < nl.num_flops(); ++k) {
+      t.scan_state.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) {
+      t.v1.push_back(rng.chance(1, 2));
+      t.v2.push_back(rng.chance(1, 2));
+    }
+    tests.push_back(std::move(t));
+  }
+  return tests;
+}
+
+// Property: diagnosing the exact observation of a detected fault puts that
+// fault (or a dictionary-indistinguishable one) at rank 1 with score 0.
+TEST(Diagnosis, ExactObservationRanksTheFaultFirst) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 200, 31);
+  const FaultDictionary dict(nl, tests, faults);
+
+  std::size_t diagnosable = 0;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const auto obs = dict.observation_for(f);
+    bool any_fail = false;
+    for (const std::uint8_t b : obs) any_fail |= (b != 0);
+    if (!any_fail) continue;  // undetected fault: nothing to diagnose
+    ++diagnosable;
+    const auto ranked = dict.diagnose(obs, 5);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked[0].score, 0u);
+    // The injected fault is among the zero-score (indistinguishable) heads.
+    bool found = false;
+    for (const auto& c : ranked) {
+      if (c.score == 0 && c.fault_index == f) found = true;
+    }
+    EXPECT_TRUE(found) << fault_name(nl, faults.fault(f));
+  }
+  EXPECT_GT(diagnosable, faults.size() / 2);
+}
+
+TEST(Diagnosis, NoisyObservationStillRanksTheFaultHighly) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 300, 32);
+  const FaultDictionary dict(nl, tests, faults);
+  Pcg32 rng(99);
+
+  std::size_t checked = 0;
+  std::size_t top3 = 0;
+  for (std::size_t f = 0; f < faults.size() && checked < 40; ++f) {
+    auto obs = dict.observation_for(f);
+    std::size_t fails = 0;
+    for (const std::uint8_t b : obs) fails += b;
+    if (fails < 8) continue;
+    // Corrupt 2 random entries (tester noise / unmodelled behaviour).
+    for (int k = 0; k < 2; ++k) {
+      obs[rng.below(static_cast<std::uint32_t>(obs.size()))] ^= 1;
+    }
+    ++checked;
+    const auto ranked = dict.diagnose(obs, 3);
+    for (const auto& c : ranked) {
+      if (c.fault_index == f) {
+        ++top3;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(checked, 8u);
+  EXPECT_GT(top3 * 10, checked * 8);  // >80% in the top 3 despite noise
+}
+
+TEST(Diagnosis, FailingTestsRoundTrip) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 100, 33);
+  const FaultDictionary dict(nl, tests, faults);
+  EXPECT_EQ(dict.num_tests(), 100u);
+  EXPECT_EQ(dict.num_faults(), faults.size());
+  for (std::size_t f = 0; f < faults.size(); f += 7) {
+    const auto failing = dict.failing_tests(f);
+    const auto obs = dict.observation_for(f);
+    std::size_t count = 0;
+    for (const std::uint8_t b : obs) count += b;
+    EXPECT_EQ(failing.size(), count);
+    for (const std::size_t t : failing) {
+      EXPECT_EQ(obs[t], 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,96 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(FaultList, UncollapsedHasTwoPerEligibleLine) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList list = TransitionFaultList::uncollapsed(nl);
+  EXPECT_EQ(list.size(), 2 * nl.size());  // s27 has no constants
+}
+
+TEST(FaultList, CollapsesBufferChains) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+g = AND(a, b)
+h = BUF(g)
+i = NOT(h)
+z = NAND(i, b)
+)",
+                                 "chain");
+  const TransitionFaultList collapsed = TransitionFaultList::collapsed(nl);
+  const TransitionFaultList full = TransitionFaultList::uncollapsed(nl);
+  // h collapses onto g, i collapses onto h: 4 faults removed.
+  EXPECT_EQ(collapsed.size(), full.size() - 4);
+  // The representatives (a, b, g, z) remain.
+  EXPECT_NE(collapsed.index_of({nl.find("g"), true}),
+            TransitionFaultList::npos);
+  EXPECT_EQ(collapsed.index_of({nl.find("h"), true}),
+            TransitionFaultList::npos);
+  EXPECT_EQ(collapsed.index_of({nl.find("i"), false}),
+            TransitionFaultList::npos);
+}
+
+TEST(FaultList, DoesNotCollapseAcrossFanout) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(y)
+OUTPUT(z)
+b = NOT(a)
+y = BUF(a)
+z = BUF(b)
+)",
+                                 "fanout");
+  const TransitionFaultList collapsed = TransitionFaultList::collapsed(nl);
+  // a drives both b and y, so neither b nor y may collapse onto a;
+  // z may collapse onto b (b's only fanout).
+  EXPECT_NE(collapsed.index_of({nl.find("b"), true}),
+            TransitionFaultList::npos);
+  EXPECT_NE(collapsed.index_of({nl.find("y"), true}),
+            TransitionFaultList::npos);
+  EXPECT_EQ(collapsed.index_of({nl.find("z"), true}),
+            TransitionFaultList::npos);
+}
+
+TEST(FaultList, DoesNotCollapseOverObservedNet) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(b)
+OUTPUT(c)
+b = NOT(a)
+c = BUF(b)
+)",
+                                 "obsnet");
+  const TransitionFaultList collapsed = TransitionFaultList::collapsed(nl);
+  // b is itself a primary output: a fault on c is NOT equivalent to one on b
+  // (b is directly observed), so c must stay.
+  EXPECT_NE(collapsed.index_of({nl.find("c"), true}),
+            TransitionFaultList::npos);
+}
+
+TEST(FaultList, FaultNamesReadably) {
+  const Netlist nl = make_s27();
+  EXPECT_EQ(fault_name(nl, {nl.find("G11"), true}), "G11/STR");
+  EXPECT_EQ(fault_name(nl, {nl.find("G11"), false}), "G11/STF");
+}
+
+TEST(FaultList, FromFaultsKeepsOrder) {
+  const Netlist nl = make_s27();
+  std::vector<TransitionFault> subset = {{nl.find("G11"), true},
+                                         {nl.find("G8"), false}};
+  const TransitionFaultList list = TransitionFaultList::from_faults(subset);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.fault(0).line, nl.find("G11"));
+  EXPECT_EQ(list.fault(1).line, nl.find("G8"));
+  EXPECT_EQ(list.index_of({nl.find("G8"), false}), 1u);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,86 @@
+#include "fault/scan_test_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "fault/fault_sim.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(ScanTestTypes, SkewedLoadShiftsWithinChains) {
+  const Netlist nl = make_s27();  // 3 flops, 1 chain
+  const ScanChains scan(nl, {});
+  const std::vector<std::uint8_t> s1{1, 0, 1};
+  const std::vector<std::uint8_t> scan_in{0};
+  const std::vector<std::uint8_t> v(nl.num_inputs(), 0);
+  const BroadsideTest t =
+      make_skewed_load_test(nl, scan, s1, scan_in, v, v);
+  // One shift: position 0 <- scan-in, position i <- s1[i-1].
+  EXPECT_EQ(t.state2_override, (std::vector<std::uint8_t>{0, 1, 0}));
+  EXPECT_EQ(t.scan_state, s1);
+}
+
+TEST(ScanTestTypes, EnhancedScanKeepsBothStates) {
+  const std::vector<std::uint8_t> s1{1, 1, 0};
+  const std::vector<std::uint8_t> s2{0, 0, 1};
+  const std::vector<std::uint8_t> v{1, 0, 1, 0};
+  const BroadsideTest t = make_enhanced_scan_test(s1, s2, v, v);
+  EXPECT_EQ(t.scan_state, s1);
+  EXPECT_EQ(t.state2_override, s2);
+}
+
+// §1.3's coverage ordering: with equal test counts, enhanced scan reaches at
+// least the broadside coverage (it can realize every broadside pair and
+// more); skewed load is incomparable in general but lands in the same range.
+TEST(ScanTestTypes, CoverageOrderingOnS27) {
+  const Netlist nl = make_s27();
+  const ScanChains scan(nl, {});
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  BroadsideFaultSim sim(nl);
+  Pcg32 rng(42);
+
+  const std::size_t count = 400;
+  TestSet broadside;
+  TestSet skewed;
+  TestSet enhanced;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> s1;
+    std::vector<std::uint8_t> s2;
+    std::vector<std::uint8_t> v1;
+    std::vector<std::uint8_t> v2;
+    std::vector<std::uint8_t> scan_in;
+    for (std::size_t k = 0; k < nl.num_flops(); ++k) {
+      s1.push_back(rng.chance(1, 2));
+      s2.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) {
+      v1.push_back(rng.chance(1, 2));
+      v2.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < scan.num_chains(); ++k) {
+      scan_in.push_back(rng.chance(1, 2));
+    }
+    broadside.push_back(BroadsideTest{s1, v1, v2, {}});
+    skewed.push_back(make_skewed_load_test(nl, scan, s1, scan_in, v1, v2));
+    enhanced.push_back(make_enhanced_scan_test(s1, s2, v1, v2));
+  }
+
+  auto coverage = [&](const TestSet& tests) {
+    std::vector<std::uint32_t> det(faults.size(), 0);
+    sim.grade(tests, faults, det, 1);
+    std::size_t covered = 0;
+    for (const std::uint32_t c : det) covered += (c >= 1);
+    return covered;
+  };
+  const std::size_t cb = coverage(broadside);
+  const std::size_t cs = coverage(skewed);
+  const std::size_t ce = coverage(enhanced);
+  EXPECT_GE(ce, cb);  // enhanced scan subsumes broadside state pairs
+  EXPECT_GT(cs, 0u);
+  EXPECT_GT(cb, faults.size() / 2);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,95 @@
+#include "flow/bist_flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_sim.hpp"
+
+namespace fbt {
+namespace {
+
+BistExperimentConfig small_experiment(const std::string& target,
+                                      const std::string& driver) {
+  BistExperimentConfig cfg;
+  cfg.target_name = target;
+  cfg.driver_name = driver;
+  cfg.calibration.num_sequences = 4;
+  cfg.calibration.sequence_length = 400;
+  cfg.generation.segment_length = 200;
+  cfg.generation.max_segment_failures = 2;
+  cfg.generation.max_sequence_failures = 2;
+  cfg.generation.rng_seed = 19;
+  return cfg;
+}
+
+TEST(BistFlow, UnconstrainedExperimentEndToEnd) {
+  const BistExperimentResult r =
+      run_bist_experiment(small_experiment("s298", "buffers"));
+  EXPECT_GT(r.swa_func, 0.0);
+  EXPECT_FALSE(r.generation.bounded);  // buffers row: no SWA constraint
+  EXPECT_GT(r.detected, 0u);
+  EXPECT_GT(r.fault_coverage_percent, 20.0);
+  EXPECT_GT(r.hw_area, 0.0);
+  EXPECT_GT(r.circuit_area_um2, r.hw_area / 10.0);
+  EXPECT_NEAR(r.overhead_percent,
+              100.0 * r.hw_area / r.circuit_area_um2, 1e-9);
+}
+
+TEST(BistFlow, ConstrainedExperimentBoundsSwitching) {
+  const BistExperimentResult r =
+      run_bist_experiment(small_experiment("s298", "s386"));
+  EXPECT_TRUE(r.generation.bounded);
+  EXPECT_GT(r.swa_func, 0.0);
+  EXPECT_LE(r.run.peak_swa, r.swa_func + 1e-9);
+}
+
+TEST(BistFlow, ConstraintsOnlyLowerTheBound) {
+  const BistExperimentResult free =
+      run_bist_experiment(small_experiment("s298", "buffers"));
+  const BistExperimentResult tied =
+      run_bist_experiment(small_experiment("s298", "s386"));
+  // A driving block filters the input space, so the functional peak under it
+  // cannot exceed the unconstrained peak by more than simulation noise.
+  EXPECT_LE(tied.swa_func, free.swa_func * 1.15);
+}
+
+TEST(BistFlow, SequenceReductionPreservesCoverage) {
+  BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  cfg.reduce_sequences = true;
+  const BistExperimentResult reduced = run_bist_experiment(cfg);
+  cfg.reduce_sequences = false;
+  const BistExperimentResult full = run_bist_experiment(cfg);
+
+  EXPECT_LE(reduced.run.num_seeds, reduced.seeds_before_reduction);
+  EXPECT_LE(reduced.run.sequences.size(),
+            reduced.sequences_before_reduction);
+  // Same construction -> same detection credit; the kept tests must regrade
+  // to the same coverage.
+  EXPECT_EQ(reduced.detected, full.detected);
+  BroadsideFaultSim fsim(reduced.target);
+  std::vector<std::uint32_t> regraded(reduced.faults.size(), 0);
+  fsim.grade(reduced.run.tests, reduced.faults, regraded, 1);
+  std::size_t covered = 0;
+  for (const std::uint32_t c : regraded) covered += (c >= 1);
+  EXPECT_EQ(covered, reduced.detected);
+}
+
+TEST(BistFlow, HoldExperimentImprovesOrKeepsCoverage) {
+  BistExperimentResult base =
+      run_bist_experiment(small_experiment("s298", "s386"));
+  const std::size_t before = base.detected;
+
+  HoldSelectionConfig hold;
+  hold.tree_height = 2;
+  hold.hold_period_log2 = 2;
+  hold.eval = base.generation;
+  hold.eval.max_segment_failures = 1;
+  hold.eval.max_sequence_failures = 1;
+  hold.commit = base.generation;
+  const HoldExperimentResult r = run_hold_experiment(base, hold, 31);
+  EXPECT_GE(r.detected_total, before);
+  EXPECT_GE(r.final_coverage_percent, base.fault_coverage_percent - 1e-9);
+  EXPECT_GE(r.hw_area, base.hw_area * 0.9);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,189 @@
+#include "multiclock/multiclock_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(ClockDomains, SplitByIndexAndDivider) {
+  const Netlist nl = make_s27();  // 3 flops
+  const ClockDomains domains = ClockDomains::split_by_index(nl, 34, 4);
+  EXPECT_EQ(domains.num_slow(), 1u);  // 34% of 3 -> 1 flop (the last)
+  EXPECT_FALSE(domains.is_slow(0));
+  EXPECT_FALSE(domains.is_slow(1));
+  EXPECT_TRUE(domains.is_slow(2));
+  // Slow edge every 4 fast cycles, on cycles 3, 7, 11, ...
+  EXPECT_FALSE(domains.slow_capture_at(0));
+  EXPECT_FALSE(domains.slow_capture_at(2));
+  EXPECT_TRUE(domains.slow_capture_at(3));
+  EXPECT_TRUE(domains.slow_capture_at(7));
+}
+
+TEST(ClockDomains, ClassifiesFaultSpans) {
+  // fastff -> fgate -> fast D; slowff -> sgate -> slow D; cross: fast -> slow.
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(o)
+fastff = DFF(fd)
+slowff = DFF(sd)
+fgate = NOT(fastff)
+fd = AND(fgate, a)
+cross = NOT(fastff)
+sgate = NOT(slowff)
+sd = AND(sgate, cross)
+o = BUF(fastff)
+)",
+                                 "spans");
+  // Flop order: fastff (0), slowff (1); mark slowff slow.
+  const ClockDomains domains(nl, {0, 1}, 2);
+  EXPECT_EQ(domains.classify(nl.find("fgate")),
+            ClockDomains::FaultSpan::kIntraFast);
+  EXPECT_EQ(domains.classify(nl.find("sgate")),
+            ClockDomains::FaultSpan::kIntraSlow);
+  EXPECT_EQ(domains.classify(nl.find("cross")),
+            ClockDomains::FaultSpan::kCrossing);
+  // The input a feeds only the fast D: intra-fast.
+  EXPECT_EQ(domains.classify(nl.find("a")),
+            ClockDomains::FaultSpan::kIntraFast);
+}
+
+TEST(MultiClockSim, SlowDomainHoldsBetweenEdges) {
+  const Netlist nl = make_s27();
+  const ClockDomains domains = ClockDomains::split_by_index(nl, 34, 4);
+  MultiClockSim mc(domains);
+  mc.load_reset_state();
+  SeqSim reference(nl);  // single-clock reference
+  reference.load_reset_state();
+
+  Tpg tpg(nl, {});
+  tpg.reseed(0x5151);
+  std::vector<std::uint8_t> slow_prev{0};
+  for (int c = 0; c < 32; ++c) {
+    const auto pi = tpg.next_vector();
+    mc.step(pi);
+    reference.step(pi);
+    // Fast flops may differ from the reference after the first slow hold;
+    // the slow flop must only change right after its own capture edges
+    // (cycles 3, 7, ...).
+    const std::uint8_t slow_now = mc.state()[2];
+    if (c % 4 != 3) {
+      EXPECT_EQ(slow_now, slow_prev[0]) << "cycle " << c;
+    }
+    slow_prev[0] = slow_now;
+  }
+}
+
+TEST(MultiClockSim, DividerOfOneWouldEqualSingleClock) {
+  // divider >= 2 is enforced; with all flops fast the machine equals the
+  // single-clock simulator regardless of divider.
+  const Netlist nl = make_s27();
+  const ClockDomains domains(nl, {0, 0, 0}, 4);
+  MultiClockSim mc(domains);
+  mc.load_reset_state();
+  SeqSim reference(nl);
+  reference.load_reset_state();
+  Tpg tpg(nl, {});
+  tpg.reseed(0xbeef);
+  for (int c = 0; c < 40; ++c) {
+    const auto pi = tpg.next_vector();
+    mc.step(pi);
+    reference.step(pi);
+    EXPECT_EQ(mc.state(), reference.state()) << "cycle " << c;
+  }
+}
+
+TEST(MultiClockFaultSim, DetectsFaultsInEveryDomain) {
+  const Netlist nl = load_benchmark("s298");
+  const ClockDomains domains = ClockDomains::split_by_index(nl, 50, 4);
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+
+  // Functional stimulus from the TPG.
+  Tpg tpg(nl, {});
+  tpg.reseed(0x777);
+  std::vector<std::vector<std::uint8_t>> vectors;
+  for (int c = 0; c < 1200; ++c) vectors.push_back(tpg.next_vector());
+  const std::vector<std::uint8_t> reset(nl.num_flops(), 0);
+  const auto tests = extract_multicycle_tests(domains, reset, vectors,
+                                              2 * domains.divider());
+  ASSERT_GT(tests.size(), 50u);
+
+  MultiClockFaultSim fsim(domains);
+  std::vector<std::uint32_t> det(faults.size(), 0);
+  fsim.grade(tests, faults, det);
+
+  std::size_t by_span[3] = {0, 0, 0};
+  std::size_t total_by_span[3] = {0, 0, 0};
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const auto span =
+        static_cast<std::size_t>(domains.classify(faults.fault(f).line));
+    ++total_by_span[span];
+    if (det[f] >= 1) ++by_span[span];
+  }
+  // Fast and crossing faults must be detectable by multi-cycle tests; the
+  // intra-slow class is exercised deterministically in the next test (this
+  // circuit/split yields only one intra-slow line).
+  EXPECT_GT(by_span[0], 0u);  // intra-fast
+  EXPECT_GT(by_span[2], 0u);  // crossing
+  (void)total_by_span;
+}
+
+// Deterministic intra-slow detection: slow1 toggles on every slow edge, the
+// fault site sline = BUF(slow1) is launched and captured purely in the slow
+// domain, and a slow-to-rise delay of one slow period flips the next slow2
+// capture.
+TEST(MultiClockFaultSim, IntraSlowFaultIsDetectedAtSlowSpeed) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(o)
+fastff = DFF(fd)
+fd = XOR(a, fastff)
+o = BUF(fastff)
+slow1 = DFF(sd1)
+slow2 = DFF(sd2)
+sd1 = NOT(slow1)
+sline = BUF(slow1)
+sd2 = NOT(sline)
+)",
+                                 "islow");
+  const ClockDomains domains(nl, {0, 1, 1}, 4);
+  const TransitionFault fault{nl.find("sline"), true};
+  ASSERT_EQ(domains.classify(fault.line),
+            ClockDomains::FaultSpan::kIntraSlow);
+
+  MultiCycleTest test;
+  test.start_state = {0, 0, 0};
+  for (int c = 0; c < 12; ++c) {
+    test.vectors.push_back({static_cast<std::uint8_t>(c % 2)});
+  }
+  MultiClockFaultSim fsim(domains);
+  EXPECT_TRUE(fsim.detects(test, fault));
+  // The falling fault needs slow1 to fall, which happens one slow period
+  // later -- still inside the 12-cycle window (edges at cycles 3, 7, 11).
+  EXPECT_TRUE(fsim.detects(test, {nl.find("sline"), false}));
+}
+
+TEST(MultiClockFaultSim, WindowsAlignWithTheSlowClockPhase) {
+  const Netlist nl = make_s27();
+  const ClockDomains domains = ClockDomains::split_by_index(nl, 34, 4);
+  Tpg tpg(nl, {});
+  tpg.reseed(3);
+  std::vector<std::vector<std::uint8_t>> vectors;
+  for (int c = 0; c < 64; ++c) vectors.push_back(tpg.next_vector());
+  const std::vector<std::uint8_t> reset(nl.num_flops(), 0);
+  const auto tests = extract_multicycle_tests(domains, reset, vectors, 8);
+  // Windows start every `divider` cycles, so every start index is a multiple
+  // of 4 and the in-window slow edges land on local cycles 3 and 7.
+  EXPECT_EQ(tests.size(), (64 - 8) / 4 + 1);
+  for (const MultiCycleTest& t : tests) {
+    EXPECT_EQ(t.vectors.size(), 8u);
+    EXPECT_EQ(t.start_state.size(), nl.num_flops());
+  }
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,92 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = make_s27();
+  EXPECT_EQ(nl.name(), "s27");
+  EXPECT_EQ(nl.num_inputs(), 4u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_flops(), 3u);
+  EXPECT_EQ(nl.num_gates(), 10u);  // 2 NOT + 1 AND + 2 OR + 1 NAND + 4 NOR
+  // Spot-check structure: G11 = NOR(G5, G9) and feeds G17 = NOT(G11).
+  const NodeId g11 = nl.find("G11");
+  const NodeId g17 = nl.find("G17");
+  ASSERT_NE(g11, kNoNode);
+  ASSERT_NE(g17, kNoNode);
+  EXPECT_EQ(nl.type(g11), GateType::kNor);
+  EXPECT_EQ(nl.type(g17), GateType::kNot);
+  EXPECT_EQ(nl.gate(g17).fanins[0], g11);
+  EXPECT_TRUE(nl.is_output(g17));
+}
+
+TEST(BenchIo, RoundTripsThroughWriter) {
+  const Netlist original = make_s27();
+  const std::string text = write_bench(original);
+  const Netlist reparsed = parse_bench(text, "s27");
+  EXPECT_EQ(reparsed.num_inputs(), original.num_inputs());
+  EXPECT_EQ(reparsed.num_outputs(), original.num_outputs());
+  EXPECT_EQ(reparsed.num_flops(), original.num_flops());
+  EXPECT_EQ(reparsed.num_gates(), original.num_gates());
+  for (NodeId id = 0; id < original.size(); ++id) {
+    const NodeId other = reparsed.find(original.gate(id).name);
+    ASSERT_NE(other, kNoNode) << original.gate(id).name;
+    EXPECT_EQ(reparsed.type(other), original.type(id));
+    EXPECT_EQ(reparsed.gate(other).fanins.size(),
+              original.gate(id).fanins.size());
+  }
+}
+
+TEST(BenchIo, HandlesForwardReferencesAndComments) {
+  const Netlist nl = parse_bench(R"(
+# forward reference: y uses z before z is defined
+INPUT(a)
+OUTPUT(y)
+y = NOT(z)   # trailing comment
+z = BUF(a)
+)",
+                                 "fwd");
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.type(nl.find("y")), GateType::kNot);
+}
+
+TEST(BenchIo, RejectsUndefinedNet) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(x)\n", "bad"), Error);
+  EXPECT_THROW(parse_bench("y = AND(a, b)\nOUTPUT(y)\n", "bad2"), Error);
+}
+
+TEST(BenchIo, RejectsMalformedLines) {
+  EXPECT_THROW(parse_bench("INPUT a\n", "m1"), Error);
+  EXPECT_THROW(parse_bench("x = AND(a\n", "m2"), Error);
+  EXPECT_THROW(parse_bench("FOO(a)\n", "m3"), Error);
+}
+
+TEST(BenchIo, RejectsDuplicateDefinition) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nINPUT(a)\n", "d1"), Error);
+  EXPECT_THROW(
+      parse_bench("INPUT(a)\nx = BUF(a)\nx = NOT(a)\nOUTPUT(x)\n", "d2"),
+      Error);
+}
+
+TEST(BenchIo, AcceptsDffAndBuffAliases) {
+  const Netlist nl = parse_bench(R"(
+INPUT(a)
+OUTPUT(o)
+q = DFF(o)
+o = BUFF(q2)
+q2 = INV(a)
+)",
+                                 "alias");
+  EXPECT_EQ(nl.type(nl.find("o")), GateType::kBuf);
+  EXPECT_EQ(nl.type(nl.find("q2")), GateType::kNot);
+  EXPECT_EQ(nl.num_flops(), 1u);
+}
+
+}  // namespace
+}  // namespace fbt

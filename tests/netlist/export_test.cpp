@@ -1,0 +1,47 @@
+#include "netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(Export, VerilogContainsEveryGateAndFlop) {
+  const Netlist nl = make_s27();
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("module s27"), std::string::npos);
+  EXPECT_NE(v.find("fbt_dff dff_G5"), std::string::npos);
+  EXPECT_NE(v.find("nand g_G9"), std::string::npos);
+  EXPECT_NE(v.find("nor g_G11"), std::string::npos);
+  EXPECT_NE(v.find("not g_G17"), std::string::npos);
+  EXPECT_NE(v.find("output G17_po"), std::string::npos);
+  // The behavioural flop cell is appended once.
+  EXPECT_NE(v.find("module fbt_dff"), std::string::npos);
+}
+
+TEST(Export, DotHasOneNodePerGateAndEdgesPerFanin) {
+  const Netlist nl = make_s27();
+  const std::string d = write_dot(nl);
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  for (std::size_t pos = 0; (pos = d.find("shape=", pos)) != std::string::npos;
+       ++pos) {
+    ++nodes;
+  }
+  for (std::size_t pos = 0; (pos = d.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(nodes, nl.size());
+  std::size_t expected_edges = 0;
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    expected_edges += nl.gate(id).fanins.size();
+  }
+  EXPECT_EQ(edges, expected_edges);
+  // The primary output is double-circled.
+  EXPECT_NE(d.find("peripheries=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,132 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/gate_type.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(GateType, NamesRoundTrip) {
+  for (const GateType t :
+       {GateType::kInput, GateType::kDff, GateType::kBuf, GateType::kNot,
+        GateType::kAnd, GateType::kNand, GateType::kOr, GateType::kNor,
+        GateType::kXor, GateType::kXnor, GateType::kConst0,
+        GateType::kConst1}) {
+    EXPECT_EQ(gate_type_from_name(gate_type_name(t)), t);
+  }
+  EXPECT_THROW(gate_type_from_name("FROB"), Error);
+}
+
+TEST(GateType, ControllingValues) {
+  EXPECT_FALSE(controlling_value(GateType::kAnd));
+  EXPECT_FALSE(controlling_value(GateType::kNand));
+  EXPECT_TRUE(controlling_value(GateType::kOr));
+  EXPECT_TRUE(controlling_value(GateType::kNor));
+  EXPECT_FALSE(has_controlling_value(GateType::kXor));
+  EXPECT_THROW(controlling_value(GateType::kXor), Error);
+}
+
+TEST(GateType, InversionPolarity) {
+  EXPECT_TRUE(inverts(GateType::kNot));
+  EXPECT_TRUE(inverts(GateType::kNand));
+  EXPECT_TRUE(inverts(GateType::kNor));
+  EXPECT_TRUE(inverts(GateType::kXnor));
+  EXPECT_FALSE(inverts(GateType::kBuf));
+  EXPECT_FALSE(inverts(GateType::kAnd));
+  EXPECT_FALSE(inverts(GateType::kOr));
+  EXPECT_FALSE(inverts(GateType::kXor));
+}
+
+TEST(Netlist, BuildsAndLevelizes) {
+  Netlist nl("tiny");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(GateType::kNand, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::kNot, "g2", {g1});
+  nl.mark_output(g2);
+  nl.finalize();
+
+  EXPECT_EQ(nl.num_inputs(), 2u);
+  EXPECT_EQ(nl.num_outputs(), 1u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.level(a), 0u);
+  EXPECT_EQ(nl.level(g1), 1u);
+  EXPECT_EQ(nl.level(g2), 2u);
+  EXPECT_EQ(nl.max_level(), 2u);
+  ASSERT_EQ(nl.eval_order().size(), 2u);
+  EXPECT_EQ(nl.eval_order()[0], g1);
+  EXPECT_EQ(nl.eval_order()[1], g2);
+  EXPECT_EQ(nl.fanouts(a).size(), 1u);
+  EXPECT_TRUE(nl.is_output(g2));
+  EXPECT_FALSE(nl.is_output(g1));
+  EXPECT_EQ(nl.find("g1"), g1);
+  EXPECT_EQ(nl.find("nope"), kNoNode);
+}
+
+TEST(Netlist, FlipFlopLinkage) {
+  Netlist nl("seq");
+  const NodeId in = nl.add_input("in");
+  const NodeId ff = nl.add_dff("ff");
+  const NodeId nxt = nl.add_gate(GateType::kXor, "nxt", {in, ff});
+  nl.set_dff_input(ff, nxt);
+  nl.mark_output(nxt);
+  nl.finalize();
+  EXPECT_EQ(nl.dff_input(ff), nxt);
+  EXPECT_EQ(nl.num_flops(), 1u);
+  // The flop is a source: the sequential loop through it is not a
+  // combinational cycle.
+  EXPECT_EQ(nl.num_gates(), 1u);
+}
+
+TEST(Netlist, RejectsCombinationalCycle) {
+  Netlist nl("cyc");
+  const NodeId a = nl.add_input("a");
+  // Create g1 with a placeholder fanin, then g2 = g1, and wire g1's fanin to
+  // g2 is impossible through the public API (fanins are fixed at creation),
+  // so build the cycle through mutual references via a DFF-free loop:
+  // g1 = AND(a, g2) requires g2 to exist first -- the API prevents forward
+  // references entirely, so a cycle cannot be expressed. Verify instead that
+  // finalize() demands connected flop inputs.
+  const NodeId ff = nl.add_dff("ff");
+  (void)a;
+  (void)ff;
+  EXPECT_THROW(nl.finalize(), Error);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist nl("dup");
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), Error);
+}
+
+TEST(Netlist, RejectsBadArity) {
+  Netlist nl("arity");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  EXPECT_THROW(nl.add_gate(GateType::kNot, "n", {a, b}), Error);
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, "g", {}), Error);
+  EXPECT_THROW(nl.add_gate(GateType::kConst0, "c", {a}), Error);
+}
+
+TEST(Netlist, ImmutableAfterFinalize) {
+  Netlist nl("frozen");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::kBuf, "g", {a});
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_THROW(nl.add_input("x"), Error);
+  EXPECT_THROW(nl.mark_output(a), Error);
+}
+
+TEST(Netlist, RejectsDoubleOutputMark) {
+  Netlist nl("po");
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::kBuf, "g", {a});
+  nl.mark_output(g);
+  EXPECT_THROW(nl.mark_output(g), Error);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,66 @@
+#include "netlist/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "circuits/synth.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(ScanChains, SingleShortChainForFewFlops) {
+  const Netlist nl = make_s27();
+  const ScanChains scan(nl, ScanConfig{.max_chains = 10,
+                                       .min_chain_length = 100});
+  EXPECT_EQ(scan.num_chains(), 1u);
+  EXPECT_EQ(scan.longest_length(), 3u);
+  EXPECT_EQ(scan.shift_cycles(), 3u);
+}
+
+TEST(ScanChains, PartitionsLargeFlopCountEvenly) {
+  SynthParams p;
+  p.name = "scan_big";
+  p.num_inputs = 8;
+  p.num_outputs = 8;
+  p.num_flops = 1234;
+  p.num_gates = 2000;
+  p.seed = 99;
+  const Netlist nl = generate_synthetic(p);
+  const ScanChains scan(nl, ScanConfig{.max_chains = 10,
+                                       .min_chain_length = 100});
+  EXPECT_EQ(scan.num_chains(), 10u);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < scan.num_chains(); ++c) {
+    total += scan.chain(c).size();
+    // Approximately equal lengths: within one of the longest.
+    EXPECT_GE(scan.chain(c).size() + 1, scan.longest_length());
+  }
+  EXPECT_EQ(total, 1234u);
+  EXPECT_EQ(scan.longest_length(), 124u);  // ceil(1234 / 10)
+}
+
+TEST(ScanChains, RespectsMaxChains) {
+  SynthParams p;
+  p.name = "scan_mid";
+  p.num_inputs = 4;
+  p.num_outputs = 4;
+  p.num_flops = 250;
+  p.num_gates = 600;
+  p.seed = 7;
+  const Netlist nl = generate_synthetic(p);
+  const ScanChains scan(nl, ScanConfig{.max_chains = 10,
+                                       .min_chain_length = 100});
+  // 250 flops / >=100 per chain -> 2 chains of 125.
+  EXPECT_EQ(scan.num_chains(), 2u);
+  EXPECT_EQ(scan.longest_length(), 125u);
+}
+
+TEST(ScanChains, NoFlopsYieldsNoChains) {
+  const Netlist nl = make_buffers_block(5);
+  const ScanChains scan(nl, ScanConfig{});
+  EXPECT_EQ(scan.num_chains(), 0u);
+  EXPECT_EQ(scan.longest_length(), 0u);
+}
+
+}  // namespace
+}  // namespace fbt

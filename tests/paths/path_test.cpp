@@ -1,0 +1,122 @@
+#include "paths/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/s27.hpp"
+#include "circuits/synth.hpp"
+#include "test_circuits.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(Paths, EnumeratesFig2Completely) {
+  const Netlist nl = testing::make_fig2_circuit();
+  const PathEnumeration e = enumerate_all_paths(nl, 100);
+  ASSERT_TRUE(e.complete);
+  // Sources a,b,d,f; paths: a-c-e-g, b-c-e-g, d-e-g, f-g = 4.
+  EXPECT_EQ(e.paths.size(), 4u);
+  std::set<std::size_t> lengths;
+  for (const Path& p : e.paths) lengths.insert(p.length());
+  EXPECT_EQ(lengths, (std::set<std::size_t>{1, 2, 3}));
+}
+
+TEST(Paths, CapRespectedAndReported) {
+  const Netlist nl = make_s27();
+  const PathEnumeration capped = enumerate_all_paths(nl, 3);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_EQ(capped.paths.size(), 3u);
+}
+
+TEST(Paths, S27FullEnumerationIsStable) {
+  const Netlist nl = make_s27();
+  const PathEnumeration e = enumerate_all_paths(nl, 10000);
+  ASSERT_TRUE(e.complete);
+  EXPECT_GT(e.paths.size(), 10u);
+  // Every path starts at a launch point and ends at a capture point, and
+  // consecutive nodes are fanin/fanout related.
+  for (const Path& p : e.paths) {
+    const GateType src = nl.type(p.nodes.front());
+    EXPECT_TRUE(src == GateType::kInput || src == GateType::kDff);
+    EXPECT_TRUE(is_capture_point(nl, p.nodes.back()));
+    for (std::size_t i = 1; i < p.nodes.size(); ++i) {
+      const auto& fanins = nl.gate(p.nodes[i]).fanins;
+      EXPECT_NE(std::find(fanins.begin(), fanins.end(), p.nodes[i - 1]),
+                fanins.end());
+    }
+  }
+  // No duplicates.
+  std::set<std::vector<NodeId>> unique;
+  for (const Path& p : e.paths) unique.insert(p.nodes);
+  EXPECT_EQ(unique.size(), e.paths.size());
+}
+
+TEST(Paths, LongestFirstOrderMatchesFullEnumeration) {
+  const Netlist nl = make_s27();
+  const PathEnumeration all = enumerate_all_paths(nl, 10000);
+  ASSERT_TRUE(all.complete);
+
+  LongestPathEnumerator longest(nl);
+  std::vector<Path> ordered;
+  for (;;) {
+    Path p = longest.next();
+    if (p.nodes.empty()) break;
+    ordered.push_back(std::move(p));
+  }
+  ASSERT_EQ(ordered.size(), all.paths.size());
+  // Non-increasing lengths.
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    EXPECT_GE(ordered[i - 1].length(), ordered[i].length());
+  }
+  // Same path set.
+  std::set<std::vector<NodeId>> a;
+  std::set<std::vector<NodeId>> b;
+  for (const Path& p : all.paths) a.insert(p.nodes);
+  for (const Path& p : ordered) b.insert(p.nodes);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Paths, LongestFirstOnSyntheticCircuit) {
+  SynthParams params;
+  params.name = "paths_syn";
+  params.num_inputs = 6;
+  params.num_outputs = 4;
+  params.num_flops = 5;
+  params.num_gates = 80;
+  params.seed = 19;
+  const Netlist nl = generate_synthetic(params);
+  LongestPathEnumerator longest(nl);
+  std::size_t prev = SIZE_MAX;
+  for (int i = 0; i < 200; ++i) {
+    const Path p = longest.next();
+    if (p.nodes.empty()) break;
+    EXPECT_LE(p.length(), prev);
+    prev = p.length();
+  }
+}
+
+TEST(Paths, TransitionFaultPolarities) {
+  const Netlist nl = make_s27();
+  // Path G0 - G14(NOT) - G10(NOR): rising at G0 -> falling at G14 -> rising
+  // at G10.
+  PathDelayFault fp;
+  fp.path.nodes = {nl.find("G0"), nl.find("G14"), nl.find("G10")};
+  fp.rising = true;
+  const auto trs = transition_faults_along(nl, fp);
+  ASSERT_EQ(trs.size(), 3u);
+  EXPECT_TRUE(trs[0].rising);
+  EXPECT_FALSE(trs[1].rising);
+  EXPECT_TRUE(trs[2].rising);
+}
+
+TEST(Paths, PathFaultNameFormats) {
+  const Netlist nl = make_s27();
+  PathDelayFault fp;
+  fp.path.nodes = {nl.find("G0"), nl.find("G14")};
+  fp.rising = false;
+  EXPECT_EQ(path_fault_name(nl, fp), "G0-G14 (falling)");
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,108 @@
+#include "sim/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+const GateType kCombTypes[] = {GateType::kBuf,  GateType::kNot,
+                               GateType::kAnd,  GateType::kNand,
+                               GateType::kOr,   GateType::kNor,
+                               GateType::kXor,  GateType::kXnor};
+
+class GateEvalConsistency : public ::testing::TestWithParam<GateType> {};
+
+// Property: eval_gate2 (scalar), eval_gate64 (bit-parallel), and eval_gate3
+// (three-valued with binary operands) agree on every binary input combination
+// up to 4 fanins.
+TEST_P(GateEvalConsistency, BinaryDomainsAgree) {
+  const GateType type = GetParam();
+  const std::size_t max_fanin =
+      (type == GateType::kBuf || type == GateType::kNot) ? 1 : 4;
+  const std::size_t min_fanin = max_fanin == 1 ? 1 : 2;
+  for (std::size_t n = min_fanin; n <= max_fanin; ++n) {
+    for (std::uint32_t bits = 0; bits < (1u << n); ++bits) {
+      std::vector<std::uint8_t> in2;
+      std::vector<std::uint64_t> in64;
+      std::vector<Val3> in3;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t b = (bits >> i) & 1u;
+        in2.push_back(b);
+        in64.push_back(b ? ~0ULL : 0);
+        in3.push_back(b ? Val3::k1 : Val3::k0);
+      }
+      const std::uint8_t r2 = eval_gate2(type, in2);
+      const std::uint64_t r64 = eval_gate64(type, in64);
+      const Val3 r3 = eval_gate3(type, in3);
+      EXPECT_EQ(r64, r2 ? ~0ULL : 0) << gate_type_name(type) << " bits=" << bits;
+      EXPECT_EQ(r3, r2 ? Val3::k1 : Val3::k0)
+          << gate_type_name(type) << " bits=" << bits;
+    }
+  }
+}
+
+// Property: three-valued evaluation is a sound abstraction -- if the result
+// with some inputs X is binary, then every completion of the X inputs yields
+// that same binary value.
+TEST_P(GateEvalConsistency, XAbstractionIsSound) {
+  const GateType type = GetParam();
+  if (type == GateType::kBuf || type == GateType::kNot) return;
+  Pcg32 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = rng.range(2, 4);
+    std::vector<Val3> in3;
+    std::vector<std::size_t> x_positions;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = rng.below(3);
+      in3.push_back(static_cast<Val3>(r));
+      if (in3.back() == Val3::kX) x_positions.push_back(i);
+    }
+    const Val3 abstract = eval_gate3(type, in3);
+    if (abstract == Val3::kX) continue;
+    for (std::uint32_t fill = 0; fill < (1u << x_positions.size()); ++fill) {
+      std::vector<std::uint8_t> in2;
+      std::size_t xi = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (in3[i] == Val3::kX) {
+          in2.push_back((fill >> xi++) & 1u);
+        } else {
+          in2.push_back(in3[i] == Val3::k1 ? 1 : 0);
+        }
+      }
+      EXPECT_EQ(eval_gate2(type, in2), abstract == Val3::k1 ? 1 : 0)
+          << gate_type_name(type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGateTypes, GateEvalConsistency,
+                         ::testing::ValuesIn(kCombTypes),
+                         [](const auto& info) {
+                           return std::string(gate_type_name(info.param));
+                         });
+
+TEST(Value, ConstantsEvaluate) {
+  EXPECT_EQ(eval_gate2(GateType::kConst0, {}), 0);
+  EXPECT_EQ(eval_gate2(GateType::kConst1, {}), 1);
+  EXPECT_EQ(eval_gate64(GateType::kConst1, {}), ~0ULL);
+  EXPECT_EQ(eval_gate3(GateType::kConst0, {}), Val3::k0);
+}
+
+TEST(Value, SourcesHaveNoFunction) {
+  EXPECT_THROW(eval_gate2(GateType::kInput, {}), Error);
+  EXPECT_THROW(eval_gate3(GateType::kDff, {}), Error);
+}
+
+TEST(Value, Not3) {
+  EXPECT_EQ(not3(Val3::k0), Val3::k1);
+  EXPECT_EQ(not3(Val3::k1), Val3::k0);
+  EXPECT_EQ(not3(Val3::kX), Val3::kX);
+}
+
+}  // namespace
+}  // namespace fbt

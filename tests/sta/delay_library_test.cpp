@@ -1,0 +1,48 @@
+#include "sta/delay_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(DelayLibrary, InverterRiseIsTheUnitDelay) {
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  EXPECT_DOUBLE_EQ(lib.unit_delay(), 0.03);
+  EXPECT_DOUBLE_EQ(lib.delay(GateType::kNot, 1).rise, 0.03);
+}
+
+TEST(DelayLibrary, UnitDelayIsTheMinimum) {
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  for (const GateType t : {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                           GateType::kNand, GateType::kOr, GateType::kNor,
+                           GateType::kXor, GateType::kXnor}) {
+    const std::size_t fanins =
+        (t == GateType::kBuf || t == GateType::kNot) ? 1 : 2;
+    const GateDelay d = lib.delay(t, fanins);
+    EXPECT_GE(d.rise, lib.unit_delay() - 1e-12) << gate_type_name(t);
+    // Inverter fall (0.027) is the single arc below the rise unit; every
+    // other arc is at least the unit.
+    if (t != GateType::kNot) {
+      EXPECT_GE(d.fall, lib.unit_delay() - 1e-12) << gate_type_name(t);
+    }
+  }
+}
+
+TEST(DelayLibrary, ExtraFaninsAddDelay) {
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  EXPECT_GT(lib.delay(GateType::kNand, 4).rise,
+            lib.delay(GateType::kNand, 2).rise);
+  EXPECT_DOUBLE_EQ(lib.delay(GateType::kNand, 2).rise,
+                   lib.delay(GateType::kNand, 1).rise);
+}
+
+TEST(DelayLibrary, SourcesHaveNoArcs) {
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  EXPECT_THROW(lib.delay(GateType::kInput, 0), Error);
+  EXPECT_THROW(lib.delay(GateType::kDff, 1), Error);
+}
+
+}  // namespace
+}  // namespace fbt

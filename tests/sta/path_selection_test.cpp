@@ -1,0 +1,90 @@
+#include "sta/path_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(PathSelection, SelectsRequestedCountOnS27) {
+  const Netlist nl = make_s27();
+  PathSelectionConfig cfg;
+  cfg.num_target = 8;
+  cfg.initial_pool = 56;
+  const PathSelectionResult result =
+      select_critical_paths(nl, DelayLibrary::standard_018um(), cfg);
+  EXPECT_GE(result.original_size, 8u);
+  EXPECT_GE(result.final_size, result.original_size);
+  ASSERT_GE(result.target.size(), 8u);
+  // Sorted by final delay.
+  for (std::size_t i = 1; i < result.target.size(); ++i) {
+    EXPECT_GE(result.target[i - 1].final_delay,
+              result.target[i].final_delay - 1e-12);
+  }
+}
+
+TEST(PathSelection, FinalDelayNeverExceedsOriginal) {
+  const Netlist nl = make_s27();
+  PathSelectionConfig cfg;
+  cfg.num_target = 12;
+  cfg.initial_pool = 56;
+  const PathSelectionResult result =
+      select_critical_paths(nl, DelayLibrary::standard_018um(), cfg);
+  for (const SelectedPathFault& sel : result.target) {
+    EXPECT_LE(sel.final_delay, sel.original_delay + 1e-12)
+        << path_fault_name(nl, sel.fault);
+  }
+}
+
+TEST(PathSelection, NoDuplicateFaults) {
+  const Netlist nl = make_s27();
+  PathSelectionConfig cfg;
+  cfg.num_target = 10;
+  cfg.initial_pool = 56;
+  const PathSelectionResult result =
+      select_critical_paths(nl, DelayLibrary::standard_018um(), cfg);
+  std::set<std::string> keys;
+  for (const SelectedPathFault& sel : result.target) {
+    EXPECT_TRUE(keys.insert(path_fault_key(sel.fault)).second);
+  }
+}
+
+TEST(PathSelection, DropsUndetectableFaults) {
+  const Netlist nl = make_s27();
+  PathSelectionConfig cfg;
+  cfg.num_target = 20;
+  cfg.initial_pool = 200;  // pull in everything, incl. undetectable paths
+  const PathSelectionResult result =
+      select_critical_paths(nl, DelayLibrary::standard_018um(), cfg);
+  // s27 has many undetectable path delay faults (Table 2.1: 31 of 56);
+  // the selection must have skipped a nonzero number of them.
+  EXPECT_GT(result.undetectable_dropped, 0u);
+}
+
+TEST(PathSelection, WorksOnMidSizeSyntheticCircuit) {
+  const Netlist nl = load_benchmark("s386");
+  PathSelectionConfig cfg;
+  cfg.num_target = 16;
+  cfg.initial_pool = 300;
+  cfg.expansion_cap = 16;
+  cfg.max_processed = 200;
+  const PathSelectionResult result =
+      select_critical_paths(nl, DelayLibrary::standard_018um(), cfg);
+  EXPECT_GE(result.final_size, result.original_size);
+  EXPECT_GT(result.target.size(), 0u);
+}
+
+TEST(PathSelection, KeyIsInjectiveOverTransitions) {
+  PathDelayFault a{Path{{1, 2, 3}}, true};
+  PathDelayFault b{Path{{1, 2, 3}}, false};
+  PathDelayFault c{Path{{1, 2}}, true};
+  EXPECT_NE(path_fault_key(a), path_fault_key(b));
+  EXPECT_NE(path_fault_key(a), path_fault_key(c));
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,139 @@
+#include "sta/timing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "circuits/synth.hpp"
+#include "test_circuits.hpp"
+
+namespace fbt {
+namespace {
+
+DelayLibrary lib() { return DelayLibrary::standard_018um(); }
+
+TEST(TimingGraph, WorstArrivalMatchesLongestEnumeratedPath) {
+  const Netlist nl = make_s27();
+  const TimingGraph graph(nl, lib());
+  const auto paths = graph.most_critical(1);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_NEAR(graph.worst_arrival(), paths[0].delay, 1e-9);
+}
+
+TEST(TimingGraph, EnumerationIsSortedAndConsistent) {
+  const Netlist nl = make_s27();
+  const TimingGraph graph(nl, lib());
+  const auto paths = graph.most_critical(50);
+  ASSERT_GE(paths.size(), 10u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].delay, paths[i].delay - 1e-12);
+  }
+  for (const TimedPath& tp : paths) {
+    const auto recomputed = graph.path_delay(tp.fault);
+    ASSERT_TRUE(recomputed.has_value());
+    EXPECT_NEAR(*recomputed, tp.delay, 1e-9);
+  }
+}
+
+TEST(TimingGraph, AtLeastReturnsExactlyThePathsAboveThreshold) {
+  const Netlist nl = make_s27();
+  const TimingGraph graph(nl, lib());
+  const auto all = graph.most_critical(1000);
+  const double threshold = all[all.size() / 2].delay;
+  const auto subset = graph.at_least(threshold, 1000);
+  std::size_t expected = 0;
+  for (const TimedPath& tp : all) {
+    if (tp.delay >= threshold) ++expected;
+  }
+  EXPECT_EQ(subset.size(), expected);
+  for (const TimedPath& tp : subset) EXPECT_GE(tp.delay, threshold - 1e-12);
+}
+
+TEST(TimingGraph, ConstantCaseInputPrunesPaths) {
+  const Netlist nl = testing::make_fig2_circuit();
+  // f held at 1 in both patterns: g = OR(e, f) is blocked for e, and f
+  // itself cannot toggle, so only the f-g path survives... which is also
+  // blocked since f is constant. No sensitizable path through g remains.
+  const std::vector<Assignment> case_values = {
+      {{Frame::k1, nl.find("f")}, true}, {{Frame::k2, nl.find("f")}, true}};
+  const TimingGraph graph(nl, lib(), case_values);
+  PathDelayFault through_e;
+  through_e.path.nodes = {nl.find("a"), nl.find("c"), nl.find("e"),
+                          nl.find("g")};
+  through_e.rising = true;
+  EXPECT_FALSE(graph.path_delay(through_e).has_value());
+  EXPECT_EQ(graph.most_critical(100).size(), 0u);
+}
+
+TEST(TimingGraph, CaseAnalysisNeverIncreasesDelay) {
+  const Netlist nl = make_s27();
+  const TimingGraph unconstrained(nl, lib());
+  const auto paths = unconstrained.most_critical(30);
+  // Pin G1 to constant 0 (both patterns): delays of surviving paths must not
+  // increase (the side-input pessimism can only shrink).
+  const std::vector<Assignment> case_values = {
+      {{Frame::k1, nl.find("G1")}, false}, {{Frame::k2, nl.find("G1")}, false}};
+  const TimingGraph constrained(nl, lib(), case_values);
+  for (const TimedPath& tp : paths) {
+    const auto d = constrained.path_delay(tp.fault);
+    if (d.has_value()) {
+      EXPECT_LE(*d, tp.delay + 1e-12) << path_fault_name(nl, tp.fault);
+    }
+  }
+}
+
+TEST(TimingGraph, RisingCaseInputRestrictsLaunchDirection) {
+  const Netlist nl = testing::make_fig1_circuit();
+  // a: rising (0 in p1, 1 in p2).
+  const std::vector<Assignment> case_values = {
+      {{Frame::k1, nl.find("a")}, false}, {{Frame::k2, nl.find("a")}, true}};
+  const TimingGraph graph(nl, lib(), case_values);
+  PathDelayFault rising{Path{{nl.find("a"), nl.find("c"), nl.find("e")}},
+                        true};
+  PathDelayFault falling{Path{{nl.find("a"), nl.find("c"), nl.find("e")}},
+                         false};
+  EXPECT_TRUE(graph.path_delay(rising).has_value());
+  EXPECT_FALSE(graph.path_delay(falling).has_value());
+}
+
+TEST(TimingGraph, FullySpecifiedSideInputsDropAllPessimism) {
+  const Netlist nl = testing::make_fig2_circuit();
+  PathDelayFault fp{Path{{nl.find("a"), nl.find("c"), nl.find("e"),
+                          nl.find("g")}},
+                    true};
+  const TimingGraph loose(nl, lib());
+  // Pin every off-path input in both frames (the after-TG condition).
+  const std::vector<Assignment> pins = {
+      {{Frame::k1, nl.find("a")}, false}, {{Frame::k2, nl.find("a")}, true},
+      {{Frame::k1, nl.find("b")}, false}, {{Frame::k2, nl.find("b")}, false},
+      {{Frame::k1, nl.find("d")}, true},  {{Frame::k2, nl.find("d")}, true},
+      {{Frame::k1, nl.find("f")}, false}, {{Frame::k2, nl.find("f")}, false}};
+  const TimingGraph tight(nl, lib(), pins);
+  const auto d_loose = loose.path_delay(fp);
+  const auto d_tight = tight.path_delay(fp);
+  ASSERT_TRUE(d_loose.has_value());
+  ASSERT_TRUE(d_tight.has_value());
+  // Three 2-input gates, each with one side input resolved: exactly 3
+  // penalties dropped.
+  const DelayLibrary l = lib();
+  EXPECT_NEAR(*d_loose - *d_tight, 3 * l.side_input_penalty(), 1e-9);
+}
+
+TEST(TimingGraph, SyntheticCircuitEnumerationScales) {
+  SynthParams p;
+  p.name = "sta_syn";
+  p.num_inputs = 10;
+  p.num_outputs = 6;
+  p.num_flops = 12;
+  p.num_gates = 300;
+  p.seed = 23;
+  const Netlist nl = generate_synthetic(p);
+  const TimingGraph graph(nl, lib());
+  const auto paths = graph.most_critical(200);
+  EXPECT_EQ(paths.size(), 200u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].delay, paths[i].delay - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,92 @@
+// Cross-engine timing properties on random circuits.
+#include <gtest/gtest.h>
+
+#include "circuits/synth.hpp"
+#include "paths/path.hpp"
+#include "sta/timing_graph.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+Netlist make_random(std::uint64_t seed) {
+  SynthParams p;
+  p.name = "sta_prop" + std::to_string(seed);
+  p.num_inputs = 5;
+  p.num_outputs = 3;
+  p.num_flops = 4;
+  p.num_gates = 60;
+  p.seed = seed;
+  return generate_synthetic(p);
+}
+
+class TimingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: the best-first enumeration agrees with exhaustive path
+// enumeration -- same path count (per launch transition) and the maximum of
+// the exhaustively recomputed delays equals worst_arrival().
+TEST_P(TimingProperty, EnumerationMatchesExhaustiveRecomputation) {
+  const Netlist nl = make_random(GetParam());
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  const TimingGraph graph(nl, lib);
+
+  const PathEnumeration all = enumerate_all_paths(nl, 100000);
+  ASSERT_TRUE(all.complete);
+
+  double exhaustive_worst = 0.0;
+  std::size_t sensitizable = 0;
+  for (const Path& p : all.paths) {
+    for (const bool rising : {true, false}) {
+      const auto d = graph.path_delay({p, rising});
+      if (!d.has_value()) continue;
+      ++sensitizable;
+      exhaustive_worst = std::max(exhaustive_worst, *d);
+    }
+  }
+  EXPECT_NEAR(graph.worst_arrival(), exhaustive_worst, 1e-9);
+
+  const auto ranked = graph.most_critical(2 * all.paths.size() + 10);
+  EXPECT_EQ(ranked.size(), sensitizable);
+  if (!ranked.empty()) {
+    EXPECT_NEAR(ranked.front().delay, exhaustive_worst, 1e-9);
+  }
+}
+
+// Property: adding case values never increases any surviving path's delay
+// and never resurrects a blocked path.
+TEST_P(TimingProperty, CaseAnalysisIsMonotone) {
+  const Netlist nl = make_random(GetParam());
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  const TimingGraph free_graph(nl, lib);
+  Pcg32 rng(GetParam() ^ 0xfeed);
+
+  // Random case values on two inputs (both frames).
+  std::vector<Assignment> case_values;
+  for (int k = 0; k < 2; ++k) {
+    const NodeId pi = nl.inputs()[rng.below(
+        static_cast<std::uint32_t>(nl.num_inputs()))];
+    case_values.push_back({{Frame::k1, pi}, rng.chance(1, 2) != 0});
+    case_values.push_back({{Frame::k2, pi}, rng.chance(1, 2) != 0});
+  }
+  const TimingGraph constrained(nl, lib, case_values);
+
+  const auto ranked = free_graph.most_critical(200);
+  for (const TimedPath& tp : ranked) {
+    const auto constrained_delay = constrained.path_delay(tp.fault);
+    if (constrained_delay.has_value()) {
+      EXPECT_LE(*constrained_delay, tp.delay + 1e-12);
+    }
+    // And a path blocked without case values must stay blocked (the free
+    // graph has the loosest sensitization).
+  }
+  for (const TimedPath& tp : constrained.most_critical(200)) {
+    EXPECT_TRUE(free_graph.path_delay(tp.fault).has_value())
+        << "case analysis resurrected a path";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingProperty,
+                         ::testing::Values(3u, 5u, 8u, 13u, 21u));
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,62 @@
+#include "sta/timing_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/s27.hpp"
+#include "circuits/registry.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(TimingReport, WorstSlackMatchesWorstArrival) {
+  const Netlist nl = make_s27();
+  const DelayLibrary lib = DelayLibrary::standard_018um();
+  const TimingGraph graph(nl, lib);
+  const double period = 1.0;
+  const TimingReport report(nl, graph, period);
+  EXPECT_NEAR(report.worst_slack(), period - graph.worst_arrival(), 1e-9);
+}
+
+TEST(TimingReport, CoversEveryEndpointOnce) {
+  const Netlist nl = make_s27();
+  const TimingGraph graph(nl, DelayLibrary::standard_018um());
+  const TimingReport report(nl, graph, 1.0);
+  // Endpoints: 1 PO + distinct flop D inputs.
+  std::set<NodeId> expected;
+  for (const NodeId po : nl.outputs()) expected.insert(po);
+  for (const NodeId ff : nl.flops()) expected.insert(nl.dff_input(ff));
+  std::set<NodeId> got;
+  for (const EndpointSlack& e : report.endpoints()) {
+    EXPECT_TRUE(got.insert(e.endpoint).second) << "duplicate endpoint";
+  }
+  EXPECT_EQ(got, expected);
+  // Sorted by ascending slack.
+  for (std::size_t i = 1; i < report.endpoints().size(); ++i) {
+    EXPECT_LE(report.endpoints()[i - 1].slack, report.endpoints()[i].slack);
+  }
+}
+
+TEST(TimingReport, ViolationsFollowThePeriod) {
+  const Netlist nl = load_benchmark("s386");
+  const TimingGraph graph(nl, DelayLibrary::standard_018um());
+  const double worst = graph.worst_arrival();
+  const TimingReport loose(nl, graph, worst + 0.1);
+  EXPECT_EQ(loose.violation_count(), 0u);
+  const TimingReport tight(nl, graph, worst * 0.7);
+  EXPECT_GT(tight.violation_count(), 0u);
+  EXPECT_LT(tight.worst_slack(), 0.0);
+}
+
+TEST(TimingReport, TextReportNamesPathsAndSlack) {
+  const Netlist nl = make_s27();
+  const TimingGraph graph(nl, DelayLibrary::standard_018um());
+  const TimingReport report(nl, graph, 0.5);
+  const std::string text = report.to_string(3);
+  EXPECT_NE(text.find("Timing report"), std::string::npos);
+  EXPECT_NE(text.find("endpoint"), std::string::npos);
+  EXPECT_NE(text.find("path:"), std::string::npos);
+  EXPECT_NE(text.find("launch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbt

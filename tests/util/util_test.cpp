@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fbt {
+namespace {
+
+TEST(Require, ThrowsWithContext) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  try {
+    require(false, "module", "what went wrong");
+    FAIL() << "expected fbt::Error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "module: what went wrong");
+  }
+}
+
+TEST(Rng, DeterministicStreams) {
+  Pcg32 a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_from_c = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next();
+    all_equal &= (va == b.next());
+    any_diff_from_c |= (va != c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversIt) {
+  Pcg32 rng(7);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, RangeInclusive) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+  }
+  EXPECT_THROW(rng.range(5, 3), Error);
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Pcg32 rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(1, 4);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // "--name value" consumes the following bare token as the value, so a
+  // positional must precede any bare boolean flag.
+  const char* argv[] = {"prog", "pos1", "--a=1", "--b", "2", "--d=x",
+                        "--flag"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("a", 0), 1);
+  EXPECT_EQ(cli.get_int("b", 0), 2);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_EQ(cli.get("flag", ""), "true");
+  EXPECT_EQ(cli.get("d", ""), "x");
+  EXPECT_EQ(cli.get("missing", "fb"), "fb");
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, RejectsNonNumericValues) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const Cli cli(2, argv);
+  EXPECT_THROW(cli.get_int("n", 0), Error);
+  EXPECT_THROW(cli.get_double("n", 0.0), Error);
+}
+
+TEST(Cli, ParsesDoubles) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  const Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t("demo");
+  t.set_header({"a", "longer"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t("bad");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, NumFormats) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Timer, FormatsHms) {
+  EXPECT_EQ(Timer::format_hms(0), "0:00:00");
+  EXPECT_EQ(Timer::format_hms(61), "0:01:01");
+  EXPECT_EQ(Timer::format_hms(3723), "1:02:03");
+}
+
+TEST(Timer, MeasuresForward) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace fbt
