@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiclock.dir/multiclock.cpp.o"
+  "CMakeFiles/bench_multiclock.dir/multiclock.cpp.o.d"
+  "bench_multiclock"
+  "bench_multiclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

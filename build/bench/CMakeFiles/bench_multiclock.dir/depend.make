@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multiclock.
+# This may be replaced when dependencies are built.

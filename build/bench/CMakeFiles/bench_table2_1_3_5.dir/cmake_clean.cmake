@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_1_3_5.dir/table2_small.cpp.o"
+  "CMakeFiles/bench_table2_1_3_5.dir/table2_small.cpp.o.d"
+  "bench_table2_1_3_5"
+  "bench_table2_1_3_5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_1_3_5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

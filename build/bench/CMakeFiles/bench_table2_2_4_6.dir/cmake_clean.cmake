@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_2_4_6.dir/table2_large.cpp.o"
+  "CMakeFiles/bench_table2_2_4_6.dir/table2_large.cpp.o.d"
+  "bench_table2_2_4_6"
+  "bench_table2_2_4_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_2_4_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_1.cpp" "bench/CMakeFiles/bench_table3_1.dir/table3_1.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_1.dir/table3_1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/fbt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fbt_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/fbt_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/fbt_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/fbt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/fbt_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fbt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiclock/CMakeFiles/fbt_multiclock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

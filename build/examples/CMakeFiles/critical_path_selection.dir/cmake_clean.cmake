@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_path_selection.dir/critical_path_selection.cpp.o"
+  "CMakeFiles/critical_path_selection.dir/critical_path_selection.cpp.o.d"
+  "critical_path_selection"
+  "critical_path_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_path_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_block_bist.dir/embedded_block_bist.cpp.o"
+  "CMakeFiles/embedded_block_bist.dir/embedded_block_bist.cpp.o.d"
+  "embedded_block_bist"
+  "embedded_block_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_block_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

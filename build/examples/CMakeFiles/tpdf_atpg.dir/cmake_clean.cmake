@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpdf_atpg.dir/tpdf_atpg.cpp.o"
+  "CMakeFiles/tpdf_atpg.dir/tpdf_atpg.cpp.o.d"
+  "tpdf_atpg"
+  "tpdf_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpdf_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/implicator.cpp" "src/atpg/CMakeFiles/fbt_atpg.dir/implicator.cpp.o" "gcc" "src/atpg/CMakeFiles/fbt_atpg.dir/implicator.cpp.o.d"
+  "/root/repo/src/atpg/necessary.cpp" "src/atpg/CMakeFiles/fbt_atpg.dir/necessary.cpp.o" "gcc" "src/atpg/CMakeFiles/fbt_atpg.dir/necessary.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/fbt_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/fbt_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/tpdf_engine.cpp" "src/atpg/CMakeFiles/fbt_atpg.dir/tpdf_engine.cpp.o" "gcc" "src/atpg/CMakeFiles/fbt_atpg.dir/tpdf_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fbt_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/fbt_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

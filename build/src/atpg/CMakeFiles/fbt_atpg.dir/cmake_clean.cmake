@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_atpg.dir/implicator.cpp.o"
+  "CMakeFiles/fbt_atpg.dir/implicator.cpp.o.d"
+  "CMakeFiles/fbt_atpg.dir/necessary.cpp.o"
+  "CMakeFiles/fbt_atpg.dir/necessary.cpp.o.d"
+  "CMakeFiles/fbt_atpg.dir/podem.cpp.o"
+  "CMakeFiles/fbt_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/fbt_atpg.dir/tpdf_engine.cpp.o"
+  "CMakeFiles/fbt_atpg.dir/tpdf_engine.cpp.o.d"
+  "libfbt_atpg.a"
+  "libfbt_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/aliasing.cpp" "src/bist/CMakeFiles/fbt_bist.dir/aliasing.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/aliasing.cpp.o.d"
+  "/root/repo/src/bist/area_model.cpp" "src/bist/CMakeFiles/fbt_bist.dir/area_model.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/area_model.cpp.o.d"
+  "/root/repo/src/bist/controller.cpp" "src/bist/CMakeFiles/fbt_bist.dir/controller.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/controller.cpp.o.d"
+  "/root/repo/src/bist/embedded.cpp" "src/bist/CMakeFiles/fbt_bist.dir/embedded.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/embedded.cpp.o.d"
+  "/root/repo/src/bist/functional_bist.cpp" "src/bist/CMakeFiles/fbt_bist.dir/functional_bist.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/functional_bist.cpp.o.d"
+  "/root/repo/src/bist/hardware_plan.cpp" "src/bist/CMakeFiles/fbt_bist.dir/hardware_plan.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/hardware_plan.cpp.o.d"
+  "/root/repo/src/bist/input_cube.cpp" "src/bist/CMakeFiles/fbt_bist.dir/input_cube.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/input_cube.cpp.o.d"
+  "/root/repo/src/bist/lfsr.cpp" "src/bist/CMakeFiles/fbt_bist.dir/lfsr.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/lfsr.cpp.o.d"
+  "/root/repo/src/bist/misr.cpp" "src/bist/CMakeFiles/fbt_bist.dir/misr.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/misr.cpp.o.d"
+  "/root/repo/src/bist/session.cpp" "src/bist/CMakeFiles/fbt_bist.dir/session.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/session.cpp.o.d"
+  "/root/repo/src/bist/signal_transitions.cpp" "src/bist/CMakeFiles/fbt_bist.dir/signal_transitions.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/signal_transitions.cpp.o.d"
+  "/root/repo/src/bist/state_holding.cpp" "src/bist/CMakeFiles/fbt_bist.dir/state_holding.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/state_holding.cpp.o.d"
+  "/root/repo/src/bist/tpg.cpp" "src/bist/CMakeFiles/fbt_bist.dir/tpg.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/tpg.cpp.o.d"
+  "/root/repo/src/bist/tpg_variants.cpp" "src/bist/CMakeFiles/fbt_bist.dir/tpg_variants.cpp.o" "gcc" "src/bist/CMakeFiles/fbt_bist.dir/tpg_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fbt_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_bist.dir/aliasing.cpp.o"
+  "CMakeFiles/fbt_bist.dir/aliasing.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/area_model.cpp.o"
+  "CMakeFiles/fbt_bist.dir/area_model.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/controller.cpp.o"
+  "CMakeFiles/fbt_bist.dir/controller.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/embedded.cpp.o"
+  "CMakeFiles/fbt_bist.dir/embedded.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/functional_bist.cpp.o"
+  "CMakeFiles/fbt_bist.dir/functional_bist.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/hardware_plan.cpp.o"
+  "CMakeFiles/fbt_bist.dir/hardware_plan.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/input_cube.cpp.o"
+  "CMakeFiles/fbt_bist.dir/input_cube.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/lfsr.cpp.o"
+  "CMakeFiles/fbt_bist.dir/lfsr.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/misr.cpp.o"
+  "CMakeFiles/fbt_bist.dir/misr.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/session.cpp.o"
+  "CMakeFiles/fbt_bist.dir/session.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/signal_transitions.cpp.o"
+  "CMakeFiles/fbt_bist.dir/signal_transitions.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/state_holding.cpp.o"
+  "CMakeFiles/fbt_bist.dir/state_holding.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/tpg.cpp.o"
+  "CMakeFiles/fbt_bist.dir/tpg.cpp.o.d"
+  "CMakeFiles/fbt_bist.dir/tpg_variants.cpp.o"
+  "CMakeFiles/fbt_bist.dir/tpg_variants.cpp.o.d"
+  "libfbt_bist.a"
+  "libfbt_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

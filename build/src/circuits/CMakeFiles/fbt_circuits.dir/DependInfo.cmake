@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/registry.cpp" "src/circuits/CMakeFiles/fbt_circuits.dir/registry.cpp.o" "gcc" "src/circuits/CMakeFiles/fbt_circuits.dir/registry.cpp.o.d"
+  "/root/repo/src/circuits/s27.cpp" "src/circuits/CMakeFiles/fbt_circuits.dir/s27.cpp.o" "gcc" "src/circuits/CMakeFiles/fbt_circuits.dir/s27.cpp.o.d"
+  "/root/repo/src/circuits/synth.cpp" "src/circuits/CMakeFiles/fbt_circuits.dir/synth.cpp.o" "gcc" "src/circuits/CMakeFiles/fbt_circuits.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_circuits.dir/registry.cpp.o"
+  "CMakeFiles/fbt_circuits.dir/registry.cpp.o.d"
+  "CMakeFiles/fbt_circuits.dir/s27.cpp.o"
+  "CMakeFiles/fbt_circuits.dir/s27.cpp.o.d"
+  "CMakeFiles/fbt_circuits.dir/synth.cpp.o"
+  "CMakeFiles/fbt_circuits.dir/synth.cpp.o.d"
+  "libfbt_circuits.a"
+  "libfbt_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/compaction.cpp" "src/fault/CMakeFiles/fbt_fault.dir/compaction.cpp.o" "gcc" "src/fault/CMakeFiles/fbt_fault.dir/compaction.cpp.o.d"
+  "/root/repo/src/fault/diagnosis.cpp" "src/fault/CMakeFiles/fbt_fault.dir/diagnosis.cpp.o" "gcc" "src/fault/CMakeFiles/fbt_fault.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/fault/CMakeFiles/fbt_fault.dir/fault.cpp.o" "gcc" "src/fault/CMakeFiles/fbt_fault.dir/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_sim.cpp" "src/fault/CMakeFiles/fbt_fault.dir/fault_sim.cpp.o" "gcc" "src/fault/CMakeFiles/fbt_fault.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/fault/scan_test_types.cpp" "src/fault/CMakeFiles/fbt_fault.dir/scan_test_types.cpp.o" "gcc" "src/fault/CMakeFiles/fbt_fault.dir/scan_test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_fault.dir/compaction.cpp.o"
+  "CMakeFiles/fbt_fault.dir/compaction.cpp.o.d"
+  "CMakeFiles/fbt_fault.dir/diagnosis.cpp.o"
+  "CMakeFiles/fbt_fault.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/fbt_fault.dir/fault.cpp.o"
+  "CMakeFiles/fbt_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/fbt_fault.dir/fault_sim.cpp.o"
+  "CMakeFiles/fbt_fault.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/fbt_fault.dir/scan_test_types.cpp.o"
+  "CMakeFiles/fbt_fault.dir/scan_test_types.cpp.o.d"
+  "libfbt_fault.a"
+  "libfbt_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

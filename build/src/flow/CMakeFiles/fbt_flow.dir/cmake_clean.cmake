@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_flow.dir/bist_flow.cpp.o"
+  "CMakeFiles/fbt_flow.dir/bist_flow.cpp.o.d"
+  "libfbt_flow.a"
+  "libfbt_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multiclock/clock_domains.cpp" "src/multiclock/CMakeFiles/fbt_multiclock.dir/clock_domains.cpp.o" "gcc" "src/multiclock/CMakeFiles/fbt_multiclock.dir/clock_domains.cpp.o.d"
+  "/root/repo/src/multiclock/multiclock_sim.cpp" "src/multiclock/CMakeFiles/fbt_multiclock.dir/multiclock_sim.cpp.o" "gcc" "src/multiclock/CMakeFiles/fbt_multiclock.dir/multiclock_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fbt_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

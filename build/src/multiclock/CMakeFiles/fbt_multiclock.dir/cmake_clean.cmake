@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_multiclock.dir/clock_domains.cpp.o"
+  "CMakeFiles/fbt_multiclock.dir/clock_domains.cpp.o.d"
+  "CMakeFiles/fbt_multiclock.dir/multiclock_sim.cpp.o"
+  "CMakeFiles/fbt_multiclock.dir/multiclock_sim.cpp.o.d"
+  "libfbt_multiclock.a"
+  "libfbt_multiclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_multiclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

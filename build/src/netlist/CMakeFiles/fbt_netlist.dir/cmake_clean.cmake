@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/fbt_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/fbt_netlist.dir/export.cpp.o"
+  "CMakeFiles/fbt_netlist.dir/export.cpp.o.d"
+  "CMakeFiles/fbt_netlist.dir/gate_type.cpp.o"
+  "CMakeFiles/fbt_netlist.dir/gate_type.cpp.o.d"
+  "CMakeFiles/fbt_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fbt_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/fbt_netlist.dir/scan.cpp.o"
+  "CMakeFiles/fbt_netlist.dir/scan.cpp.o.d"
+  "libfbt_netlist.a"
+  "libfbt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_paths.dir/classify.cpp.o"
+  "CMakeFiles/fbt_paths.dir/classify.cpp.o.d"
+  "CMakeFiles/fbt_paths.dir/path.cpp.o"
+  "CMakeFiles/fbt_paths.dir/path.cpp.o.d"
+  "CMakeFiles/fbt_paths.dir/segments.cpp.o"
+  "CMakeFiles/fbt_paths.dir/segments.cpp.o.d"
+  "libfbt_paths.a"
+  "libfbt_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

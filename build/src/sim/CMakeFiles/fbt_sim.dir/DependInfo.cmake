@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bitsim.cpp" "src/sim/CMakeFiles/fbt_sim.dir/bitsim.cpp.o" "gcc" "src/sim/CMakeFiles/fbt_sim.dir/bitsim.cpp.o.d"
+  "/root/repo/src/sim/cubesim.cpp" "src/sim/CMakeFiles/fbt_sim.dir/cubesim.cpp.o" "gcc" "src/sim/CMakeFiles/fbt_sim.dir/cubesim.cpp.o.d"
+  "/root/repo/src/sim/seqsim.cpp" "src/sim/CMakeFiles/fbt_sim.dir/seqsim.cpp.o" "gcc" "src/sim/CMakeFiles/fbt_sim.dir/seqsim.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/sim/CMakeFiles/fbt_sim.dir/value.cpp.o" "gcc" "src/sim/CMakeFiles/fbt_sim.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

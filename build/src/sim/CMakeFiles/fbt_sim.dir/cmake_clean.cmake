@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_sim.dir/bitsim.cpp.o"
+  "CMakeFiles/fbt_sim.dir/bitsim.cpp.o.d"
+  "CMakeFiles/fbt_sim.dir/cubesim.cpp.o"
+  "CMakeFiles/fbt_sim.dir/cubesim.cpp.o.d"
+  "CMakeFiles/fbt_sim.dir/seqsim.cpp.o"
+  "CMakeFiles/fbt_sim.dir/seqsim.cpp.o.d"
+  "CMakeFiles/fbt_sim.dir/value.cpp.o"
+  "CMakeFiles/fbt_sim.dir/value.cpp.o.d"
+  "libfbt_sim.a"
+  "libfbt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

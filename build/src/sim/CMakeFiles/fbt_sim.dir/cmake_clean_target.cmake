@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfbt_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_sta.dir/delay_library.cpp.o"
+  "CMakeFiles/fbt_sta.dir/delay_library.cpp.o.d"
+  "CMakeFiles/fbt_sta.dir/path_selection.cpp.o"
+  "CMakeFiles/fbt_sta.dir/path_selection.cpp.o.d"
+  "CMakeFiles/fbt_sta.dir/timing_graph.cpp.o"
+  "CMakeFiles/fbt_sta.dir/timing_graph.cpp.o.d"
+  "CMakeFiles/fbt_sta.dir/timing_report.cpp.o"
+  "CMakeFiles/fbt_sta.dir/timing_report.cpp.o.d"
+  "libfbt_sta.a"
+  "libfbt_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbt_util.dir/cli.cpp.o"
+  "CMakeFiles/fbt_util.dir/cli.cpp.o.d"
+  "CMakeFiles/fbt_util.dir/table.cpp.o"
+  "CMakeFiles/fbt_util.dir/table.cpp.o.d"
+  "libfbt_util.a"
+  "libfbt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

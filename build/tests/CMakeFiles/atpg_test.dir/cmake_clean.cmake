@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_test.dir/atpg/implicator_property_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/implicator_property_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/implicator_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/implicator_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/necessary_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/necessary_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/podem_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/podem_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/tpdf_engine_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/tpdf_engine_test.cpp.o.d"
+  "CMakeFiles/atpg_test.dir/atpg/tpdf_incremental_test.cpp.o"
+  "CMakeFiles/atpg_test.dir/atpg/tpdf_incremental_test.cpp.o.d"
+  "atpg_test"
+  "atpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

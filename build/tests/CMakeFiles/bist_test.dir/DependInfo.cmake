@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bist/aliasing_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/aliasing_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/aliasing_test.cpp.o.d"
+  "/root/repo/tests/bist/area_model_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/area_model_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/area_model_test.cpp.o.d"
+  "/root/repo/tests/bist/controller_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/controller_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/controller_test.cpp.o.d"
+  "/root/repo/tests/bist/counters_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/counters_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/counters_test.cpp.o.d"
+  "/root/repo/tests/bist/determinism_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/determinism_test.cpp.o.d"
+  "/root/repo/tests/bist/functional_bist_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/functional_bist_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/functional_bist_test.cpp.o.d"
+  "/root/repo/tests/bist/lfsr_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/lfsr_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/lfsr_test.cpp.o.d"
+  "/root/repo/tests/bist/misr_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/misr_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/misr_test.cpp.o.d"
+  "/root/repo/tests/bist/session_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/session_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/session_test.cpp.o.d"
+  "/root/repo/tests/bist/signal_transitions_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/signal_transitions_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/signal_transitions_test.cpp.o.d"
+  "/root/repo/tests/bist/state_holding_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/state_holding_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/state_holding_test.cpp.o.d"
+  "/root/repo/tests/bist/tpg_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/tpg_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/tpg_test.cpp.o.d"
+  "/root/repo/tests/bist/tpg_variants_test.cpp" "tests/CMakeFiles/bist_test.dir/bist/tpg_variants_test.cpp.o" "gcc" "tests/CMakeFiles/bist_test.dir/bist/tpg_variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fbt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fbt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/fbt_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fbt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/fbt_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/fbt_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/paths/CMakeFiles/fbt_paths.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/fbt_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/bist/CMakeFiles/fbt_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/fbt_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/multiclock/CMakeFiles/fbt_multiclock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bist_test.dir/bist/aliasing_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/aliasing_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/area_model_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/area_model_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/controller_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/controller_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/counters_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/counters_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/determinism_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/determinism_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/functional_bist_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/functional_bist_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/lfsr_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/lfsr_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/misr_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/misr_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/session_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/session_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/signal_transitions_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/signal_transitions_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/state_holding_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/state_holding_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/tpg_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/tpg_test.cpp.o.d"
+  "CMakeFiles/bist_test.dir/bist/tpg_variants_test.cpp.o"
+  "CMakeFiles/bist_test.dir/bist/tpg_variants_test.cpp.o.d"
+  "bist_test"
+  "bist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

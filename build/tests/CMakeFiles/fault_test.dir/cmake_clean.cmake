@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test.dir/fault/chapter1_figures_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/chapter1_figures_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/collapse_property_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/collapse_property_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/compaction_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/compaction_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/diagnosis_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/diagnosis_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/fault_sim_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/fault_sim_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/fault_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/fault_test.cpp.o.d"
+  "CMakeFiles/fault_test.dir/fault/scan_test_types_test.cpp.o"
+  "CMakeFiles/fault_test.dir/fault/scan_test_types_test.cpp.o.d"
+  "fault_test"
+  "fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiclock_test.dir/multiclock/multiclock_test.cpp.o"
+  "CMakeFiles/multiclock_test.dir/multiclock/multiclock_test.cpp.o.d"
+  "multiclock_test"
+  "multiclock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiclock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paths_test.dir/paths/classify_property_test.cpp.o"
+  "CMakeFiles/paths_test.dir/paths/classify_property_test.cpp.o.d"
+  "CMakeFiles/paths_test.dir/paths/classify_test.cpp.o"
+  "CMakeFiles/paths_test.dir/paths/classify_test.cpp.o.d"
+  "CMakeFiles/paths_test.dir/paths/path_test.cpp.o"
+  "CMakeFiles/paths_test.dir/paths/path_test.cpp.o.d"
+  "CMakeFiles/paths_test.dir/paths/segments_test.cpp.o"
+  "CMakeFiles/paths_test.dir/paths/segments_test.cpp.o.d"
+  "paths_test"
+  "paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

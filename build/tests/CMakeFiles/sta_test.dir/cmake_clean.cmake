@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_test.dir/sta/delay_library_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/delay_library_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/path_selection_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/path_selection_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/timing_graph_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/timing_property_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/timing_property_test.cpp.o.d"
+  "CMakeFiles/sta_test.dir/sta/timing_report_test.cpp.o"
+  "CMakeFiles/sta_test.dir/sta/timing_report_test.cpp.o.d"
+  "sta_test"
+  "sta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(netlist_test "/root/repo/build/tests/netlist_test")
+set_tests_properties(netlist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(circuits_test "/root/repo/build/tests/circuits_test")
+set_tests_properties(circuits_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_test "/root/repo/build/tests/fault_test")
+set_tests_properties(fault_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(atpg_test "/root/repo/build/tests/atpg_test")
+set_tests_properties(atpg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(paths_test "/root/repo/build/tests/paths_test")
+set_tests_properties(paths_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sta_test "/root/repo/build/tests/sta_test")
+set_tests_properties(sta_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bist_test "/root/repo/build/tests/bist_test")
+set_tests_properties(bist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(multiclock_test "/root/repo/build/tests/multiclock_test")
+set_tests_properties(multiclock_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flow_test "/root/repo/build/tests/flow_test")
+set_tests_properties(flow_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;fbt_add_test;/root/repo/tests/CMakeLists.txt;0;")
