@@ -26,6 +26,7 @@
 #include "flow/bist_flow.hpp"
 #include "netlist/scan.hpp"
 #include "sim/seqsim.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -242,6 +243,10 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  std::printf("[bench_ablations] done in %s\n", total.hms().c_str());
+  std::printf("[bench_ablations] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "ablations",
+      {{"target", target_name},
+       {"tests", std::to_string(count)}});
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "bist/session.hpp"
 #include "bist/tpg.hpp"
 #include "circuits/registry.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -134,7 +135,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n[bench_fig4_hw] done in %s\n", total.hms().c_str());
+  std::printf("\n[bench_fig4_hw] done in %s\n", total.pretty().c_str());
   (void)cli;
+  fbt::obs::write_bench_report(
+      "fig4_hw",
+      {});
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "fault/fault_sim.hpp"
 #include "multiclock/multiclock_sim.hpp"
 #include "sim/seqsim.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -101,6 +102,12 @@ int main(int argc, char** argv) {
       "Naive single-clock grading credits detections that rely on state\n"
       "transitions the composite machine cannot make (overtesting); the\n"
       "multi-clock columns are the trustworthy ones.\n");
-  std::printf("[bench_multiclock] done in %s\n", total.hms().c_str());
+  std::printf("[bench_multiclock] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "multiclock",
+      {{"circuit", name},
+       {"divider", std::to_string(divider)},
+       {"slow-percent", std::to_string(slow_pct)},
+       {"cycles", std::to_string(cycles)}});
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "atpg/tpdf_engine.hpp"
 #include "circuits/registry.hpp"
 #include "paths/path.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -86,24 +87,31 @@ int main(int argc, char** argv) {
     t22.add_row({name, std::to_string(sum.num_faults),
                  std::to_string(sum.detected),
                  std::to_string(sum.undetectable),
-                 std::to_string(sum.aborted), timer.hms()});
+                 std::to_string(sum.aborted), timer.pretty()});
     t24.add_row({name, std::to_string(sum.detectable_upper_bound),
                  std::to_string(sum.detected_fsim),
                  std::to_string(sum.detected_heuristic),
                  std::to_string(sum.detected_bnb)});
-    t26.add_row({name, fbt::Timer::format_hms(sum.seconds_tf_atpg),
-                 fbt::Timer::format_hms(sum.seconds_preprocessing),
-                 fbt::Timer::format_hms(sum.seconds_fsim),
-                 fbt::Timer::format_hms(sum.seconds_heuristic),
-                 fbt::Timer::format_hms(sum.seconds_bnb)});
+    t26.add_row({name, fbt::Timer::format_duration(sum.seconds_tf_atpg),
+                 fbt::Timer::format_duration(sum.seconds_preprocessing),
+                 fbt::Timer::format_duration(sum.seconds_fsim),
+                 fbt::Timer::format_duration(sum.seconds_heuristic),
+                 fbt::Timer::format_duration(sum.seconds_bnb)});
     std::fprintf(stderr, "[table2_large] %s done in %s\n", name.c_str(),
-                 timer.hms().c_str());
+                 timer.pretty().c_str());
   }
   t22.print();
   std::printf("\n");
   t24.print();
   std::printf("\n");
   t26.print();
-  std::printf("[bench_table2_2_4_6] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table2_2_4_6] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table2_2_4_6",
+      {{"target-detected", std::to_string(target_detected)},
+       {"batch", std::to_string(batch)},
+       {"max-faults", std::to_string(max_faults)},
+       {"budget-seconds", std::to_string(budget)},
+       {"circuits", only}});
   return 0;
 }

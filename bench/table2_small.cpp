@@ -18,6 +18,7 @@
 #include "atpg/tpdf_engine.hpp"
 #include "circuits/registry.hpp"
 #include "paths/path.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -61,24 +62,28 @@ int main(int argc, char** argv) {
                               (paths.complete ? "" : "+");
     t21.add_row({name, count, std::to_string(report.detected),
                  std::to_string(report.undetectable),
-                 std::to_string(report.aborted), timer.hms()});
+                 std::to_string(report.aborted), timer.pretty()});
     t23.add_row({name, std::to_string(report.detectable_upper_bound),
                  std::to_string(report.detected_fsim),
                  std::to_string(report.detected_heuristic),
                  std::to_string(report.detected_bnb)});
-    t25.add_row({name, fbt::Timer::format_hms(report.seconds_tf_atpg),
-                 fbt::Timer::format_hms(report.seconds_preprocessing),
-                 fbt::Timer::format_hms(report.seconds_fsim),
-                 fbt::Timer::format_hms(report.seconds_heuristic),
-                 fbt::Timer::format_hms(report.seconds_bnb)});
+    t25.add_row({name, fbt::Timer::format_duration(report.seconds_tf_atpg),
+                 fbt::Timer::format_duration(report.seconds_preprocessing),
+                 fbt::Timer::format_duration(report.seconds_fsim),
+                 fbt::Timer::format_duration(report.seconds_heuristic),
+                 fbt::Timer::format_duration(report.seconds_bnb)});
     std::fprintf(stderr, "[table2_small] %s done in %s\n", name.c_str(),
-                 timer.hms().c_str());
+                 timer.pretty().c_str());
   }
   t21.print();
   std::printf("\n");
   t23.print();
   std::printf("\n");
   t25.print();
-  std::printf("[bench_table2_1_3_5] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table2_1_3_5] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table2_1_3_5",
+      {{"max-paths", std::to_string(max_paths)},
+       {"circuits", only}});
   return 0;
 }

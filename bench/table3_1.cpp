@@ -8,6 +8,7 @@
 
 #include "circuits/registry.hpp"
 #include "sta/path_selection.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -44,6 +45,11 @@ int main(int argc, char** argv) {
       "initial Target_PDF: %zu faults; after recalculation/expansion: %zu; "
       "undetectable dropped: %zu\n",
       result.original_size, result.final_size, result.undetectable_dropped);
-  std::printf("[bench_table3_1] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table3_1] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table3_1",
+      {{"circuit", circuit},
+       {"N", std::to_string(n)},
+       {"M", std::to_string(pool)}});
   return 0;
 }

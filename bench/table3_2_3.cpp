@@ -15,6 +15,7 @@
 
 #include "circuits/registry.hpp"
 #include "sta/path_selection.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -105,11 +106,15 @@ int main(int argc, char** argv) {
     t32.add_row(final_row);
     t33.add_row(diff_row);
     std::fprintf(stderr, "[table3_2_3] %s done in %s\n", name.c_str(),
-                 timer.hms().c_str());
+                 timer.pretty().c_str());
   }
   t32.print();
   std::printf("\n");
   t33.print();
-  std::printf("[bench_table3_2_3] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table3_2_3] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table3_2_3",
+      {{"Ns", cli.get("Ns", "25,50,100,150")},
+       {"circuits", cli.get("circuits", "")}});
   return 0;
 }

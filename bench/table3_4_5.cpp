@@ -18,6 +18,7 @@
 #include "circuits/registry.hpp"
 #include "fault/fault_sim.hpp"
 #include "sta/path_selection.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -165,9 +166,15 @@ int main(int argc, char** argv) {
         orig_differs == 0 ? 0.0 : 100.0 * final_closer / orig_differs;
     t35.add_row({name, fbt::Table::num(pct1, 1), fbt::Table::num(pct2, 1)});
     std::fprintf(stderr, "[table3_4_5] %s done in %s (tests for %zu faults)\n",
-                 name.c_str(), timer.hms().c_str(), with_test);
+                 name.c_str(), timer.pretty().c_str(), with_test);
   }
   t35.print();
-  std::printf("[bench_table3_4_5] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table3_4_5] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table3_4_5",
+      {{"circuit", detail_circuit},
+       {"rows", std::to_string(detail_rows)},
+       {"N", std::to_string(per_circuit)},
+       {"budget-seconds", std::to_string(budget)}});
   return 0;
 }

@@ -12,6 +12,8 @@
 #include "bist/tpg.hpp"
 #include "circuits/registry.hpp"
 #include "sim/seqsim.hpp"
+#include "obs/instrument.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -44,14 +46,18 @@ int main(int argc, char** argv) {
                    fbt::Table::num(bound, 2) + "%)");
   table.set_header({"Cycle i", "SWA(i)%", "Violation"});
   std::vector<std::size_t> violations;
-  for (std::size_t c = 0; c < length; ++c) {
-    const fbt::SeqStep step = sim.step(tpg.next_vector());
-    const bool violation = c > 0 && step.switching_percent > bound;
-    if (violation) violations.push_back(c);
-    table.add_row({std::to_string(c),
-                   c == 0 ? "-" : fbt::Table::num(step.switching_percent, 2),
-                   violation ? "**" : ""});
+  {
+    FBT_OBS_PHASE("construct");
+    for (std::size_t c = 0; c < length; ++c) {
+      const fbt::SeqStep step = sim.step(tpg.next_vector());
+      const bool violation = c > 0 && step.switching_percent > bound;
+      if (violation) violations.push_back(c);
+      table.add_row({std::to_string(c),
+                     c == 0 ? "-" : fbt::Table::num(step.switching_percent, 2),
+                     violation ? "**" : ""});
+    }
   }
+  FBT_OBS_COUNTER_ADD("bist.swa_violations", violations.size());
   table.print();
 
   std::printf("\nUsable subsequences (tests every 2 cycles, ends trimmed to "
@@ -62,6 +68,7 @@ int main(int argc, char** argv) {
     if (usable >= 2) {
       std::printf("  P_%zu,%zu  -> %zu tests\n", from, from + usable,
                   usable / 2);
+      FBT_OBS_COUNTER_ADD("bist.tests_extracted", usable / 2);
     }
   };
   for (const std::size_t v : violations) {
@@ -69,6 +76,11 @@ int main(int argc, char** argv) {
     start = v;  // p(v-1)->p(v) transition excluded; restart at the violation
   }
   emit(start, length);
-  std::printf("[bench_table4_1] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table4_1] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table4_1",
+      {{"target", target_name},
+       {"driver", driver_name},
+       {"length", std::to_string(length)}});
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "bist/input_cube.hpp"
 #include "circuits/registry.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -41,7 +42,10 @@ int main(int argc, char** argv) {
                    std::to_string(nl.num_flops())});
   }
   table.print();
-  std::printf("[bench_table4_2] done in %s\n", timer.hms().c_str());
+  std::printf("[bench_table4_2] done in %s\n", timer.pretty().c_str());
   (void)cli;
+  fbt::obs::write_bench_report(
+      "table4_2",
+      {});
   return 0;
 }

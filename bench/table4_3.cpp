@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flow/bist_flow.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -114,9 +115,15 @@ int main(int argc, char** argv) {
                    std::to_string(static_cast<long long>(r.hw_area)),
                    fbt::Table::num(r.overhead_percent, 2)});
     std::fprintf(stderr, "[table4_3] %s / %s done in %s\n",
-                 display(row.target).c_str(), row.driver, timer.hms().c_str());
+                 display(row.target).c_str(), row.driver, timer.pretty().c_str());
   }
   table.print();
-  std::printf("[bench_table4_3] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table4_3] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table4_3",
+      {{"L", std::to_string(L)},
+       {"calib-seqs", std::to_string(calib_seqs)},
+       {"calib-len", std::to_string(calib_len)},
+       {"targets", only}});
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "flow/bist_flow.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -93,9 +94,14 @@ int main(int argc, char** argv) {
          std::to_string(static_cast<long long>(r.hw_area)),
          fbt::Table::num(r.overhead_percent, 2)});
     std::fprintf(stderr, "[table4_4] %s / %s done in %s\n",
-                 display(row.target).c_str(), row.driver, timer.hms().c_str());
+                 display(row.target).c_str(), row.driver, timer.pretty().c_str());
   }
   table.print();
-  std::printf("[bench_table4_4] done in %s\n", total.hms().c_str());
+  std::printf("[bench_table4_4] done in %s\n", total.pretty().c_str());
+  fbt::obs::write_bench_report(
+      "table4_4",
+      {{"L", std::to_string(L)},
+       {"tree-height", std::to_string(height)},
+       {"targets", only}});
   return 0;
 }

@@ -11,9 +11,15 @@
 //   3. optionally recover coverage with the state-holding DFT (§4.5).
 //
 // Run: ./build/examples/embedded_block_bist [--target spi --driver wb_dma]
+//
+// Afterwards the program prints the instrumented phase tree (calibrate /
+// construct / grade / reduce / cost) and writes a machine-readable run
+// report to embedded_block_bist_report.json.
 #include <cstdio>
 
 #include "flow/bist_flow.hpp"
+#include "obs/phase.hpp"
+#include "obs/run_report.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -66,6 +72,18 @@ int main(int argc, char** argv) {
                 recovered.coverage_improvement_percent);
   } else {
     std::printf("\n(pass --hold to run the state-holding recovery phase)\n");
+  }
+
+  const std::string tree = fbt::obs::PhaseTrace::instance().tree_string();
+  if (!tree.empty()) {
+    std::printf("\nphase breakdown:\n%s", tree.c_str());
+  }
+  const char* report_path = "embedded_block_bist_report.json";
+  const fbt::obs::RunReportData report = fbt::obs::collect_run_report(
+      "embedded_block_bist",
+      {{"target", config.target_name}, {"driver", config.driver_name}});
+  if (fbt::obs::write_run_report(report_path, report)) {
+    std::printf("run report written to %s\n", report_path);
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
@@ -235,9 +236,18 @@ std::pair<FrameNode, Val3> PodemEngine::pick_objective(
 PodemOutcome PodemEngine::solve(std::span<const TransitionFault> goals,
                                 bool backtrack_into_earlier) {
   require(!goals.empty(), "PodemEngine::solve", "need at least one goal");
+  FBT_OBS_COUNTER_ADD("atpg.podem_solves_started", 1);
   const std::size_t floor = decisions_.size();
   Timer timer;
   PodemOutcome outcome;
+  std::size_t decisions_made = 0;
+  const auto record_outcome = [&outcome, &decisions_made]() {
+    FBT_OBS_COUNTER_ADD("atpg.podem_backtracks", outcome.backtracks);
+    FBT_OBS_COUNTER_ADD("atpg.podem_decisions_made", decisions_made);
+    if (outcome.status == PodemStatus::kAborted) {
+      FBT_OBS_COUNTER_ADD("atpg.podem_solves_aborted", 1);
+    }
+  };
 
   std::vector<std::vector<Val3>> faulty(goals.size());
   // Detection is stable under *added* assignments, so a goal detected at
@@ -264,6 +274,7 @@ PodemOutcome PodemEngine::solve(std::span<const TransitionFault> goals,
         timer.seconds() > config_.time_limit_seconds) {
       unwind_to_floor();
       outcome.status = PodemStatus::kAborted;
+      record_outcome();
       return outcome;
     }
 
@@ -290,6 +301,7 @@ PodemOutcome PodemEngine::solve(std::span<const TransitionFault> goals,
 
     if (!impossible && all_detected) {
       outcome.status = PodemStatus::kDetected;
+      record_outcome();
       return outcome;
     }
 
@@ -314,6 +326,7 @@ PodemOutcome PodemEngine::solve(std::span<const TransitionFault> goals,
       if (!flipped) {
         unwind_to_floor();
         outcome.status = PodemStatus::kUndetectable;
+        record_outcome();
         return outcome;
       }
       continue;
@@ -342,12 +355,14 @@ PodemOutcome PodemEngine::solve(std::span<const TransitionFault> goals,
       if (!flipped) {
         unwind_to_floor();
         outcome.status = PodemStatus::kUndetectable;
+        record_outcome();
         return outcome;
       }
       continue;
     }
     require(input_val_[idx(input)] == Val3::kX, "PodemEngine::solve",
             "internal: objective chose an assigned input");
+    ++decisions_made;
     decisions_.push_back({input, value, false});
     input_val_[idx(input)] = value;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/instrument.hpp"
 #include "sim/seqsim.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -17,6 +18,7 @@ FunctionalProfile run_calibration(const Netlist& target, const Netlist& driver,
           "driving block has fewer outputs than the target has inputs");
   require(config.num_sequences >= 1 && config.sequence_length >= 2,
           "measure_swa_func", "need at least one sequence of length >= 2");
+  FBT_OBS_PHASE("calibrate");
 
   Tpg tpg(driver, config.tpg);
   SeqSim driver_sim(driver);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault_sim.hpp"
+#include "obs/instrument.hpp"
 #include "sim/seqsim.hpp"
 #include "util/require.hpp"
 
@@ -74,6 +75,7 @@ FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
           make_transition_pattern(sim.prev_values(), sim.values()));
     }
     if (violation) {
+      FBT_OBS_COUNTER_ADD("bist.swa_violations", 1);
       usable = c & ~std::size_t{1};  // j = c-1, rounded down to even
       // Rewind to the end of the usable prefix and drop trimmed tests.
       sim.restore(even ? even_snap : prev_even_snap);
@@ -93,6 +95,7 @@ FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
     }
   }
 
+  FBT_OBS_COUNTER_ADD("bist.segments_built", 1);
   result.usable_cycles = usable;
   if (usable < 2) {
     // Ensure the simulator is back at the segment start (usable == 0 means
@@ -102,6 +105,7 @@ FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
     return result;
   }
   result.tests.resize(usable / 2);
+  FBT_OBS_COUNTER_ADD("bist.tests_extracted", result.tests.size());
   // Applied cycles are 0 .. usable-1; the settling of cycle `usable` happens
   // under the next segment's first vector and is measured there.
   for (std::size_t c = 0; c < std::min(usable, swa_trace.size()); ++c) {
@@ -115,6 +119,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
     std::vector<std::uint32_t>& detect_count) {
   require(detect_count.size() == faults.size(), "FunctionalBistGenerator::run",
           "detect_count size must equal the fault count");
+  FBT_OBS_PHASE("construct");
 
   FunctionalBistResult result;
   BroadsideFaultSim fsim(*netlist_);
@@ -141,6 +146,10 @@ FunctionalBistResult FunctionalBistGenerator::run(
         const std::size_t fresh = fsim.grade(candidate.tests, faults, trial,
                                              config_.detect_limit);
         if (fresh > 0) {
+          // One accepted segment contributes one 2q-cycle test window per
+          // extracted test; `fresh` is the faults this window set retired.
+          FBT_OBS_HIST_RECORD_WITH("bist.faults_dropped_per_segment", fresh,
+                                   {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
           committed = std::move(trial);
           result.newly_detected += fresh;
           accepted = true;
@@ -153,6 +162,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
         }
       }
       if (accepted) {
+        FBT_OBS_COUNTER_ADD("bist.segments_accepted", 1);
         segment_failures = 0;
       } else {
         sim.restore(before);
@@ -165,6 +175,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
       continue;
     }
     sequence_failures = 0;
+    FBT_OBS_COUNTER_ADD("bist.sequences_built", 1);
     detect_count = committed;
     result.nseg_max = std::max(result.nseg_max, sequence.segments.size());
     for (const auto& seg : sequence.segments) {

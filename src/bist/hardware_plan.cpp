@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bist/counters.hpp"
+#include "obs/instrument.hpp"
 
 namespace fbt {
 namespace {
@@ -28,6 +29,7 @@ BistHardwarePlan base_plan(const Tpg& tpg, const ScanChains& scan,
 
 BistHardwarePlan plan_functional_bist_hardware(
     const Tpg& tpg, const ScanChains& scan, const FunctionalBistResult& run) {
+  FBT_OBS_PHASE("cost");
   return base_plan(tpg, scan, run.lmax, run.nseg_max, run.sequences.size(),
                    run.num_seeds);
 }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "bist/lfsr.hpp"
+#include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
@@ -13,6 +14,7 @@ Misr::Misr(unsigned stages)
       mask_(stages == 32 ? 0xffffffffu : ((1u << stages) - 1)) {}
 
 void Misr::absorb(std::span<const std::uint8_t> response) {
+  FBT_OBS_COUNTER_ADD("bist.misr_cycles_absorbed", 1);
   std::uint32_t incoming = 0;
   for (std::size_t i = 0; i < response.size(); ++i) {
     if (response[i]) incoming ^= 1u << (i % stages_);

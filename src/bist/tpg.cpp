@@ -1,5 +1,6 @@
 #include "bist/tpg.hpp"
 
+#include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
@@ -27,6 +28,7 @@ Tpg::Tpg(const Netlist& netlist, const TpgConfig& config)
 }
 
 void Tpg::clock_shift_register() {
+  FBT_OBS_COUNTER_ADD("bist.lfsr_cycles", 1);
   lfsr_.step();
   const std::uint8_t in = lfsr_.output() ? 1 : 0;
   for (std::size_t k = shift_register_.size(); k > 1; --k) {
@@ -43,6 +45,7 @@ void Tpg::reseed(std::uint32_t seed) {
 }
 
 std::vector<std::uint8_t> Tpg::next_vector() {
+  FBT_OBS_COUNTER_ADD("bist.tpg_vectors_generated", 1);
   clock_shift_register();
   std::vector<std::uint8_t> vec(netlist_->num_inputs(), 0);
   for (std::size_t i = 0; i < vec.size(); ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault_sim.hpp"
+#include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
@@ -109,6 +110,7 @@ std::vector<std::size_t> reduce_groups(const Netlist& netlist,
                                        std::size_t num_groups) {
   require(group_of.size() == tests.size(), "reduce_groups",
           "group_of must map every test");
+  FBT_OBS_PHASE("reduce");
   const auto per_test = detected_by_test(netlist, tests, faults);
 
   std::vector<std::vector<std::uint32_t>> per_group(num_groups);

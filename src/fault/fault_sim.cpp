@@ -1,7 +1,9 @@
 #include "fault/fault_sim.hpp"
 
+#include "obs/instrument.hpp"
 #include "sim/value.hpp"
 #include "util/require.hpp"
+#include "util/timer.hpp"
 
 namespace fbt {
 
@@ -51,6 +53,7 @@ void BroadsideFaultSim::load_block(std::span<const BroadsideTest> tests,
     }
     sim_.set_value(netlist_->flops()[i], word);
   }
+  FBT_OBS_COUNTER_ADD("fault.blocks_loaded", 1);
   sim_.eval();
   for (NodeId id = 0; id < netlist_->size(); ++id) {
     v1_values_[id] = sim_.value(id);
@@ -108,6 +111,8 @@ std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
           "detect_count size must equal the fault count");
   require(detect_limit >= 1, "BroadsideFaultSim::grade",
           "detect_limit must be >= 1");
+  FBT_OBS_PHASE("grade");
+  Timer grade_timer;
   std::size_t newly_complete = 0;
   for (std::size_t first = 0; first < tests.size(); first += 64) {
     const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
@@ -133,6 +138,9 @@ std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
       }
     }
   }
+  FBT_OBS_COUNTER_ADD("fault.tests_graded", tests.size());
+  FBT_OBS_COUNTER_ADD("fault.faults_dropped", newly_complete);
+  FBT_OBS_HIST_RECORD("fault.grade_duration_ms", grade_timer.ms());
   return newly_complete;
 }
 

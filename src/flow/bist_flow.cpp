@@ -5,11 +5,16 @@
 #include "circuits/registry.hpp"
 #include "circuits/synth.hpp"
 #include "fault/compaction.hpp"
+#include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
 
 BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
+  // Nested spans open inside the library calls: calibrate (measure_swa_func),
+  // construct + grade (FunctionalBistGenerator), reduce (reduce_groups),
+  // cost (plan_functional_bist_hardware).
+  FBT_OBS_PHASE("bist_experiment");
   Netlist target = load_benchmark(config.target_name);
   const bool unconstrained =
       config.driver_name.empty() || config.driver_name == "buffers";
@@ -107,6 +112,12 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   result.circuit_area_um2 = circuit_area(result.target);
   result.overhead_percent =
       100.0 * result.hw_area / result.circuit_area_um2;
+  FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);
+  FBT_OBS_GAUGE_SET("flow.fault_coverage_percent",
+                    result.fault_coverage_percent);
+  FBT_OBS_GAUGE_SET("flow.hw_overhead_percent", result.overhead_percent);
+  FBT_OBS_COUNTER_ADD("flow.experiments_run", 1);
+  FBT_OBS_COUNTER_ADD("flow.faults_detected", result.detected);
   return result;
 }
 

@@ -1,0 +1,138 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms for the BIST flow's hot paths (gate evaluations, LFSR cycles,
+// PODEM backtracks, faults dropped, ...).
+//
+// Design constraints:
+//  * lock-cheap on the hot path -- updates are single relaxed atomic ops; the
+//    registry mutex is taken only on first lookup of a name (call sites cache
+//    the returned reference, see obs/instrument.hpp);
+//  * references returned by the registry stay valid for the process lifetime
+//    (reset() zeroes values but never removes instruments);
+//  * zero-cost when disabled -- the FBT_OBS_* macros in obs/instrument.hpp
+//    compile to no-ops when the build sets FBT_OBS_ENABLED=0. The classes
+//    here stay available in both builds so tools and tests can use them
+//    directly.
+//
+// Naming convention for instrument names: `layer.noun_verb`, e.g.
+// `sim.seqsim_gates_evaluated`, `bist.lfsr_cycles`, `atpg.podem_backtracks`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbt::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (coverage percent, bound, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= bounds[i]; one overflow
+/// bucket counts the rest. Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double sample);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last is overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+  /// Default bounds for latencies in milliseconds.
+  static std::vector<double> latency_ms_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Owns every instrument. Lookup registers on first use and always returns
+/// the same object for a given name thereafter.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registers with `bounds` on first use; later calls (with any bounds)
+  /// return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name) {
+    return histogram(name, Histogram::latency_ms_bounds());
+  }
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument's value. Instruments are never removed, so
+  /// references cached by call sites stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry used by the FBT_OBS_* instrumentation macros.
+MetricsRegistry& registry();
+
+/// Pre-registers the core domain counters so run reports always carry them
+/// (zero-valued when the corresponding code path never ran).
+void register_core_counters();
+
+}  // namespace fbt::obs

@@ -1,0 +1,86 @@
+// Scoped phase tracing: RAII spans that nest (calibrate -> construct ->
+// grade -> reduce -> cost), record wall time with child attribution, and
+// render both a human-readable tree and Chrome `trace_event` JSON
+// (chrome://tracing / https://ui.perfetto.dev).
+//
+// Spans nest per thread; a span closed on a thread with no enclosing span
+// becomes a root in the process-wide trace. Hot loops may open many spans
+// with the same name -- the renderers aggregate same-name siblings.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fbt::obs {
+
+/// One completed span. Times are microseconds relative to the trace epoch
+/// (first use of the trace in this process).
+struct PhaseNode {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::vector<PhaseNode> children;
+
+  double total_ms() const { return static_cast<double>(dur_us) / 1000.0; }
+  /// Wall time not attributed to any child span.
+  double self_ms() const;
+};
+
+/// Same-name siblings merged: `total_ms` sums over `count` spans.
+struct PhaseSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+  std::vector<PhaseSummary> children;
+};
+
+/// Process-wide collection of completed root spans.
+class PhaseTrace {
+ public:
+  static PhaseTrace& instance();
+
+  /// Copy of the completed root spans, in completion order.
+  std::vector<PhaseNode> roots() const;
+
+  /// Roots with same-name siblings aggregated, recursively (first-seen
+  /// order). This is the shape rendered by tree_string() and the run report.
+  std::vector<PhaseSummary> summarize() const;
+
+  /// Indented human-readable tree of summarize().
+  std::string tree_string() const;
+
+  /// Chrome trace_event JSON array of complete ("ph":"X") events, one per
+  /// recorded span (not aggregated). Load in chrome://tracing or Perfetto.
+  std::string chrome_trace_json() const;
+
+  /// Drops all completed spans (open spans are unaffected and will record
+  /// into the cleared trace when they close).
+  void clear();
+
+ private:
+  friend class PhaseSpan;
+  void add_root(PhaseNode node);
+
+  mutable std::mutex mutex_;
+  std::vector<PhaseNode> roots_;
+};
+
+/// Aggregates same-name siblings recursively; exposed for tests.
+std::vector<PhaseSummary> summarize_phases(const std::vector<PhaseNode>& nodes);
+
+/// RAII phase span. Construction opens the span (nested under the innermost
+/// open span on this thread); destruction records it. Prefer the
+/// FBT_OBS_PHASE macro in instrumented library code so the span compiles
+/// away when observability is disabled.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(std::string name);
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+};
+
+}  // namespace fbt::obs

@@ -1,0 +1,177 @@
+#include "obs/run_report.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#ifndef FBT_GIT_SHA
+#define FBT_GIT_SHA "unknown"
+#endif
+
+namespace fbt::obs {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+/// Compact float rendering: up to 6 significant digits, no trailing zeros
+/// ("12.345", "0.1", "4096").
+std::string json_number(double v) {
+  std::string s = fmt("%.6g", v);
+  return s;
+}
+
+std::string ms_number(double ms) { return fmt("%.3f", ms); }
+
+void render_phase(const PhaseSummary& p, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out += pad + "{\"name\": \"" + json_escape(p.name) + "\", \"count\": " +
+         fmt("%" PRIu64, p.count) + ", \"total_ms\": " + ms_number(p.total_ms) +
+         ", \"self_ms\": " + ms_number(p.self_ms) + ", \"children\": [";
+  for (std::size_t i = 0; i < p.children.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    render_phase(p.children[i], indent + 2, out);
+  }
+  if (!p.children.empty()) out += "\n" + pad;
+  out += "]}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += fmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+RunReportData collect_run_report(
+    const std::string& tool,
+    const std::map<std::string, std::string>& config) {
+  register_core_counters();
+  RunReportData data;
+  data.tool = tool;
+  data.git_sha = FBT_GIT_SHA;
+  char stamp[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  data.timestamp_utc = stamp;
+  data.config = config;
+  data.phases = PhaseTrace::instance().summarize();
+  data.metrics = registry().snapshot();
+  return data;
+}
+
+std::string render_run_report(const RunReportData& data) {
+  std::string out = "{\n";
+  out += fmt("  \"schema_version\": %d,\n", data.schema_version);
+  out += "  \"tool\": \"" + json_escape(data.tool) + "\",\n";
+  out += "  \"git_sha\": \"" + json_escape(data.git_sha) + "\",\n";
+  out += "  \"timestamp_utc\": \"" + json_escape(data.timestamp_utc) + "\",\n";
+
+  out += "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : data.config) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": \"" + json_escape(value) + "\"";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"phases\": [";
+  for (std::size_t i = 0; i < data.phases.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    render_phase(data.phases[i], 4, out);
+  }
+  out += data.phases.empty() ? "],\n" : "\n  ],\n";
+
+  out += "  \"counters\": {";
+  first = true;
+  for (const CounterSample& c : data.metrics.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(c.name) + "\": " + fmt("%" PRIu64, c.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const GaugeSample& g : data.metrics.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(g.name) + "\": " + json_number(g.value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSample& h : data.metrics.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(h.name) + "\": {\"count\": " +
+           fmt("%" PRIu64, h.count) + ", \"sum\": " + json_number(h.sum) +
+           ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < h.bounds.size() ? json_number(h.bounds[i]) : "\"inf\"";
+      out += fmt(", \"count\": %" PRIu64 "}", h.bucket_counts[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+
+  out += "}\n";
+  return out;
+}
+
+bool write_run_report(const std::string& path, const RunReportData& data) {
+  const std::string body = render_run_report(data);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+  return ok;
+}
+
+bool write_bench_report(const std::string& name,
+                        const std::map<std::string, std::string>& config) {
+  const char* dir = std::getenv("FBT_BENCH_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0' ? std::string(dir) : ".";
+  path += "/BENCH_" + name + ".json";
+  const RunReportData data = collect_run_report("bench_" + name, config);
+  if (!write_run_report(path, data)) return false;
+  std::printf("[obs] wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace fbt::obs

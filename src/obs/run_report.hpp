@@ -1,0 +1,70 @@
+// Machine-readable run reports: one JSON document per tool run carrying the
+// build identity (git SHA), the tool's configuration, the phase-trace
+// summary, and a snapshot of every registered metric. Bench harnesses write
+// these as BENCH_<name>.json so the perf trajectory is diffable across PRs.
+//
+// Schema (version 1) -- keys are emitted in this fixed order, metric and
+// config keys sorted by name, so reports diff cleanly:
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "bench_table4_1",
+//     "git_sha": "abc1234",
+//     "timestamp_utc": "2026-08-05T12:00:00Z",
+//     "config": {"target": "spi", ...},
+//     "phases": [{"name": "calibrate", "count": 1, "total_ms": 12.345,
+//                 "self_ms": 12.345, "children": [...]}, ...],
+//     "counters": {"bist.lfsr_cycles": 4096, ...},
+//     "gauges": {"flow.fault_coverage_percent": 91.2, ...},
+//     "histograms": {"fault.grade_duration_ms":
+//        {"count": 7, "sum": 3.5,
+//         "buckets": [{"le": 0.1, "count": 3}, ..., {"le": "inf", "count": 0}]}}
+//   }
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+
+namespace fbt::obs {
+
+/// Everything that goes into one report. Fields are plain data so tests can
+/// build a fixed instance and pin the rendered bytes.
+struct RunReportData {
+  int schema_version = 1;
+  std::string tool;
+  std::string git_sha;
+  std::string timestamp_utc;
+  std::map<std::string, std::string> config;
+  std::vector<PhaseSummary> phases;
+  MetricsSnapshot metrics;
+};
+
+/// Fills a report from the process-wide state: git SHA baked in at build
+/// time (or "unknown"), current UTC time, the global phase trace, and a
+/// metrics snapshot (core counters pre-registered so they always appear).
+RunReportData collect_run_report(
+    const std::string& tool,
+    const std::map<std::string, std::string>& config);
+
+/// Deterministic JSON rendering of `data` (no global state consulted).
+std::string render_run_report(const RunReportData& data);
+
+/// Renders and writes to `path`. Returns false (and prints to stderr) on
+/// I/O failure.
+bool write_run_report(const std::string& path, const RunReportData& data);
+
+/// Convenience for bench harnesses: collects a report for tool
+/// "bench_<name>" and writes BENCH_<name>.json into $FBT_BENCH_DIR (default:
+/// current directory). Prints the path written.
+bool write_bench_report(const std::string& name,
+                        const std::map<std::string, std::string>& config);
+
+/// Escapes a string for embedding in a JSON string literal (quotes not
+/// included).
+std::string json_escape(const std::string& s);
+
+}  // namespace fbt::obs

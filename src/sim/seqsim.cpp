@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/instrument.hpp"
 #include "sim/value.hpp"
 #include "util/require.hpp"
 
@@ -54,6 +55,8 @@ SeqStep SeqSim::step(std::span<const std::uint8_t> pi_values,
     for (const FlatFanins::Entry& e : flat_.entries()) {
       vals[e.node] = eval_gate2_indexed(e.type, ids + e.first, e.count, vals);
     }
+    FBT_OBS_COUNTER_ADD("sim.seqsim_gates_evaluated", flat_.entries().size());
+    FBT_OBS_COUNTER_ADD("sim.seqsim_cycles_stepped", 1);
   }
 
   // Switching activity vs. the previous settled cycle.

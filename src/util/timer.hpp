@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdio>
 #include <string>
 
 namespace fbt {
@@ -18,8 +19,14 @@ class Timer {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Elapsed milliseconds since construction or last reset().
+  double ms() const { return seconds() * 1000.0; }
+
   /// Elapsed time formatted as H:MM:SS (matching the dissertation's tables).
   std::string hms() const { return format_hms(seconds()); }
+
+  /// Elapsed time via format_duration (milliseconds below one second).
+  std::string pretty() const { return format_duration(seconds()); }
 
   /// Formats a duration in seconds as H:MM:SS.
   static std::string format_hms(double secs) {
@@ -30,6 +37,17 @@ class Timer {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld:%02lld:%02lld", h, m, s);
     return buf;
+  }
+
+  /// Formats sub-second durations as milliseconds ("412ms") instead of the
+  /// truncated "0:00:00"; one second and up falls back to H:MM:SS.
+  static std::string format_duration(double secs) {
+    if (secs < 1.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.0fms", secs * 1000.0);
+      return buf;
+    }
+    return format_hms(secs);
   }
 
  private:

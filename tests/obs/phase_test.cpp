@@ -1,0 +1,115 @@
+#include "obs/phase.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fbt::obs {
+namespace {
+
+void spin_for_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(PhaseSpan, NestsAndAttributesChildTime) {
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  {
+    PhaseSpan outer("outer");
+    spin_for_ms(2);
+    {
+      PhaseSpan inner("inner");
+      spin_for_ms(4);
+    }
+    {
+      PhaseSpan inner("inner");
+      spin_for_ms(4);
+    }
+  }
+  const std::vector<PhaseNode> roots = trace.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  const PhaseNode& outer = roots[0];
+  EXPECT_EQ(outer.name, "outer");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "inner");
+
+  // The parent covers its children; self time excludes them.
+  std::uint64_t child_us = 0;
+  for (const PhaseNode& c : outer.children) {
+    EXPECT_GE(c.start_us, outer.start_us);
+    EXPECT_LE(c.start_us + c.dur_us, outer.start_us + outer.dur_us);
+    child_us += c.dur_us;
+  }
+  EXPECT_GE(outer.dur_us, child_us);
+  EXPECT_NEAR(outer.self_ms(), outer.total_ms() - child_us / 1000.0, 1e-9);
+  EXPECT_GT(outer.self_ms(), 0.0);
+}
+
+TEST(PhaseSpan, SequentialRootsAccumulate) {
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  { PhaseSpan a("first"); }
+  { PhaseSpan b("second"); }
+  const std::vector<PhaseNode> roots = trace.roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].name, "first");
+  EXPECT_EQ(roots[1].name, "second");
+  EXPECT_LE(roots[0].start_us, roots[1].start_us);
+}
+
+TEST(SummarizePhases, MergesSameNameSiblings) {
+  PhaseNode parent;
+  parent.name = "construct";
+  parent.dur_us = 10000;
+  for (int i = 0; i < 3; ++i) {
+    PhaseNode grade;
+    grade.name = "grade";
+    grade.start_us = static_cast<std::uint64_t>(1000 * i);
+    grade.dur_us = 2000;
+    parent.children.push_back(grade);
+  }
+  const std::vector<PhaseSummary> summary = summarize_phases({parent});
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].count, 1u);
+  EXPECT_DOUBLE_EQ(summary[0].total_ms, 10.0);
+  EXPECT_DOUBLE_EQ(summary[0].self_ms, 4.0);  // 10ms - 3 x 2ms
+  ASSERT_EQ(summary[0].children.size(), 1u);
+  EXPECT_EQ(summary[0].children[0].name, "grade");
+  EXPECT_EQ(summary[0].children[0].count, 3u);
+  EXPECT_DOUBLE_EQ(summary[0].children[0].total_ms, 6.0);
+}
+
+TEST(PhaseTrace, TreeStringShowsNestingAndAggregation) {
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  {
+    PhaseSpan outer("construct");
+    { PhaseSpan g("grade"); }
+    { PhaseSpan g("grade"); }
+  }
+  const std::string tree = trace.tree_string();
+  EXPECT_NE(tree.find("construct"), std::string::npos);
+  EXPECT_NE(tree.find("  grade x2"), std::string::npos);
+}
+
+TEST(PhaseTrace, ChromeTraceJsonListsEveryEvent) {
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  {
+    PhaseSpan outer("outer");
+    { PhaseSpan inner("inner"); }
+  }
+  const std::string json = trace.chrome_trace_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  trace.clear();
+  EXPECT_EQ(trace.chrome_trace_json(), "[]\n");
+  EXPECT_EQ(trace.tree_string(), "");
+}
+
+}  // namespace
+}  // namespace fbt::obs
