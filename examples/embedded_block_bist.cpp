@@ -13,10 +13,13 @@
 // Run: ./build/examples/embedded_block_bist [--target spi --driver wb_dma]
 //
 // Afterwards the program prints the instrumented phase tree (calibrate /
-// construct / grade / reduce / cost) and writes a machine-readable run
-// report to embedded_block_bist_report.json.
+// construct / grade / reduce / cost / rtl), writes a machine-readable run
+// report to embedded_block_bist_report.json, and writes the emitted BIST
+// hardware (TPG, controller, MISR, wrapped target) next to it as
+// embedded_block_bist_top.v.
 #include <cstdio>
 
+#include "circuits/registry.hpp"
 #include "flow/bist_flow.hpp"
 #include "obs/phase.hpp"
 #include "obs/run_report.hpp"
@@ -33,6 +36,11 @@ int main(int argc, char** argv) {
   config.generation.segment_length = 768;
   config.generation.max_segment_failures = 3;   // R
   config.generation.max_sequence_failures = 3;  // Q
+  // RTL emission needs equal scan chains (the circular shift restores the
+  // state only when every chain's length divides Lsc).
+  config.scan = fbt::equal_partition_scan_config(
+      fbt::benchmark_spec(config.target_name).num_flops);
+  config.emit_rtl = true;
 
   std::printf("target %s embedded behind driving block %s\n",
               config.target_name.c_str(), config.driver_name.c_str());
@@ -51,6 +59,24 @@ int main(int argc, char** argv) {
               result.faults.size());
   std::printf("BIST hardware %.0f um^2 = %.2f%% of the circuit\n",
               result.hw_area, result.overhead_percent);
+
+  if (result.rtl.has_value()) {
+    const fbt::RtlInventory& inv = result.rtl->inventory;
+    std::printf("emitted RTL: top %s, %zu flops / %zu gates total "
+                "(CUT %zu/%zu, TPG SR %zu, MISR %zu, seed ROM %zu x %u)\n",
+                result.rtl->top_name.c_str(), inv.total_flops, inv.total_gates,
+                inv.cut_flops, inv.cut_gates, inv.shiftreg_flops,
+                inv.misr_flops, inv.seed_rom_entries, inv.lfsr_bits);
+    const char* rtl_path = "embedded_block_bist_top.v";
+    if (std::FILE* f = std::fopen(rtl_path, "w")) {
+      std::fwrite(result.rtl->verilog.data(), 1, result.rtl->verilog.size(),
+                  f);
+      std::fclose(f);
+      std::printf("emitted Verilog written to %s\n", rtl_path);
+    } else {
+      std::printf("could not write %s\n", rtl_path);
+    }
+  }
 
   if (cli.has("hold")) {
     std::printf("\nstate-holding DFT phase (hold every 4 cycles):\n");

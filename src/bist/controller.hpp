@@ -62,6 +62,11 @@ class BistController {
   std::size_t sequence_index() const { return sequence_; }
   std::size_t segment_index() const { return segment_; }
 
+  /// Within-segment clock-cycle index of the next apply cycle (the value the
+  /// hardware's cycle counter shows while that cycle executes). The hold
+  /// strobe of Fig. 4.11 is decoded from this counter's low-order bits.
+  std::size_t apply_cycle() const { return apply_cycle_; }
+
   /// True on apply cycles where the capture edge lands (the second pattern
   /// of a test): the following cycles run the circular shift.
   bool at_capture() const;

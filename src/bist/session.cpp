@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "bist/controller.hpp"
 #include "bist/tpg.hpp"
 #include "sim/value.hpp"
 #include "util/require.hpp"
@@ -90,8 +89,27 @@ SessionReport run_bist_session(const Netlist& netlist,
                                const FunctionalBistResult& plan,
                                const ScanChains& scan,
                                const SessionConfig& config,
-                               NodeId faulty_line, bool faulty_rising) {
+                               NodeId faulty_line, bool faulty_rising,
+                               SessionObserver* observer) {
   require(config.q >= 1, "run_bist_session", "q must be >= 1");
+  const bool may_hold = !config.hold_sets.empty();
+  if (may_hold) {
+    require(config.hold_period_log2 >= 1, "run_bist_session",
+            "hold_period_log2 (h) must be >= 1 when hold sets are given");
+    for (const auto& set : config.hold_sets) {
+      for (const std::size_t f : set) {
+        require(f < netlist.num_flops(), "run_bist_session",
+                "hold set flop index out of range");
+      }
+    }
+    for (const std::size_t s : config.hold_set_of_sequence) {
+      require(s == kNoHoldSet || s < config.hold_sets.size(),
+              "run_bist_session", "hold set index out of range");
+    }
+  }
+  const std::size_t hold_period =
+      may_hold ? (std::size_t{1} << config.hold_period_log2) : 0;
+
   SessionReport report;
   Tpg tpg(netlist, config.tpg);
   Misr misr(config.misr_stages);
@@ -118,13 +136,16 @@ SessionReport run_bist_session(const Netlist& netlist,
   std::vector<std::uint8_t> shift_snapshot;  // state at capture
   std::size_t shift_cycle = 0;               // within the current burst
   bool tpg_pending_reseed = true;
+  std::vector<std::uint8_t> pi;  // last applied TPG vector
 
   while (!ctrl.done()) {
     const std::size_t seq_index = ctrl.sequence_index();
     const std::size_t seg_index = ctrl.segment_index();
+    const std::size_t apply_index = ctrl.apply_cycle();
     const bool capture = ctrl.at_capture();
     const BistMode executed = ctrl.tick();
     ++report.total_cycles;
+    bool applied = false;
 
     switch (executed) {
       case BistMode::kCircuitInit:
@@ -144,9 +165,10 @@ SessionReport run_bist_session(const Netlist& netlist,
           tpg.reseed(plan.sequences[seq_index].segments[seg_index].seed);
           tpg_pending_reseed = false;
         }
-        const auto pi = tpg.next_vector();
+        pi = tpg.next_vector();
         settler.settle(pi, state);
         ++report.functional_cycles;
+        applied = true;
         if (capture) {
           for (std::size_t k = 0; k < po.size(); ++k) {
             po[k] = settler.value(netlist.outputs()[k]);
@@ -154,7 +176,17 @@ SessionReport run_bist_session(const Netlist& netlist,
           misr.absorb(po);
           ++report.tests_applied;
         }
-        state = settler.next_state();
+        std::vector<std::uint8_t> next = settler.next_state();
+        // State holding (§4.5): the active set's variables keep their values
+        // on the transition out of apply cycles divisible by 2^h.
+        if (may_hold && apply_index % hold_period == 0 &&
+            seq_index < config.hold_set_of_sequence.size() &&
+            config.hold_set_of_sequence[seq_index] != kNoHoldSet) {
+          const auto& held =
+              config.hold_sets[config.hold_set_of_sequence[seq_index]];
+          for (const std::size_t f : held) next[f] = state[f];
+        }
+        state = std::move(next);
         if (capture) {
           shift_snapshot = state;  // s(i+2), about to circulate
           shift_cycle = 0;
@@ -179,6 +211,22 @@ SessionReport run_bist_session(const Netlist& netlist,
       }
       default:
         break;
+    }
+
+    if (observer != nullptr) {
+      SessionCycle cycle;
+      cycle.index = report.total_cycles - 1;
+      cycle.mode = executed;
+      cycle.capture = capture;
+      cycle.sequence = seq_index;
+      cycle.segment = seg_index;
+      cycle.apply_cycle = apply_index;
+      if (applied) {
+        cycle.pi = pi;
+        cycle.state = state;
+      }
+      cycle.misr = misr.signature();
+      observer->on_cycle(cycle);
     }
   }
   require(report.total_cycles == ctrl.total_cycles(), "run_bist_session",

@@ -10,10 +10,21 @@
 // total tester-cycle count; running the same session on a faulty circuit
 // (fault injected via a wrapper netlist or simulator) yields a differing
 // signature with high probability.
+//
+// The optional state-holding configuration (§4.5, Figs. 4.10-4.13) gates the
+// clocks of the active hold set's state variables on every transition out of
+// an apply cycle whose within-segment index is divisible by 2^h, matching the
+// FunctionalBistGenerator's hold rule. Each multi-segment sequence names the
+// hold set it runs under (or none); the hardware's set counter and decoder
+// route the shared hold-enable to that set.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
 
+#include "bist/controller.hpp"
 #include "bist/counters.hpp"
 #include "bist/functional_bist.hpp"
 #include "bist/misr.hpp"
@@ -21,10 +32,22 @@
 
 namespace fbt {
 
+/// Sentinel for a sequence that runs without a hold set.
+inline constexpr std::size_t kNoHoldSet =
+    std::numeric_limits<std::size_t>::max();
+
 struct SessionConfig {
   unsigned misr_stages = 24;
   unsigned q = 1;  ///< apply strobe period 2^q (the dissertation uses q = 1)
   TpgConfig tpg;
+
+  /// State holding: h >= 1 enables the hold strobe every 2^h apply cycles.
+  unsigned hold_period_log2 = 0;
+  /// The committed hold sets (flop indices), in decoder order.
+  std::vector<std::vector<std::size_t>> hold_sets;
+  /// Per sequence of the replayed plan: index into hold_sets, or kNoHoldSet.
+  /// Sequences beyond this vector's size run without holding.
+  std::vector<std::size_t> hold_set_of_sequence;
 };
 
 struct SessionReport {
@@ -35,15 +58,43 @@ struct SessionReport {
   std::size_t tests_applied = 0;
 };
 
+/// One executed controller cycle, as seen by a SessionObserver. Spans are
+/// valid only for the duration of the callback.
+struct SessionCycle {
+  std::size_t index = 0;  ///< 0-based tester cycle number
+  BistMode mode = BistMode::kIdle;
+  bool capture = false;  ///< apply cycle whose edge captures into the MISR
+  std::size_t sequence = 0;
+  std::size_t segment = 0;
+  /// Within-segment apply-cycle index (the hardware cycle counter's value
+  /// during this cycle). Valid on kApply cycles.
+  std::size_t apply_cycle = 0;
+  /// TPG primary-input vector applied this cycle (empty unless kApply).
+  std::span<const std::uint8_t> pi;
+  /// State after this cycle's clock edge (empty unless kApply).
+  std::span<const std::uint8_t> state;
+  /// MISR signature after this cycle's clock edge.
+  std::uint32_t misr = 0;
+};
+
+/// Per-cycle probe into the session, used by the RTL lockstep checker.
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+  virtual void on_cycle(const SessionCycle& cycle) = 0;
+};
+
 /// Runs the session on the (fault-free) netlist. `faulty_line`/`faulty_rising`
 /// optionally inject one transition fault as a permanent slow line modelled as
 /// stuck-at-initial-value during every second pattern, matching the fault
 /// simulator's detection semantics; pass kNoNode for a fault-free run.
+/// `observer`, when non-null, is called once per executed tester cycle.
 SessionReport run_bist_session(const Netlist& netlist,
                                const FunctionalBistResult& plan,
                                const ScanChains& scan,
                                const SessionConfig& config,
                                NodeId faulty_line = kNoNode,
-                               bool faulty_rising = true);
+                               bool faulty_rising = true,
+                               SessionObserver* observer = nullptr);
 
 }  // namespace fbt

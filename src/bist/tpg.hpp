@@ -35,6 +35,13 @@ class Tpg {
   /// Shift register length m*N_SP + (N_PI - N_SP).
   std::size_t shift_register_size() const { return shift_register_.size(); }
 
+  /// Shift-register tap positions of primary input `i` (m of them when the
+  /// cube specifies the input, one otherwise). Exposed for the RTL emitter,
+  /// which wires the biasing gates off the same taps.
+  const std::vector<std::uint32_t>& input_taps(std::size_t i) const {
+    return taps_[i];
+  }
+
   /// Number of inserted biasing gates (one m-input AND/OR per specified
   /// input) -- reported as N_SP in Table 4.2 and charged by the area model.
   std::size_t bias_gate_count() const { return cube_.specified_count(); }

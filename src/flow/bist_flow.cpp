@@ -44,7 +44,8 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
                               .circuit_area_um2 = 0.0,
                               .overhead_percent = 0.0,
                               .nsp = 0,
-                              .generation = gen};
+                              .generation = gen,
+                              .rtl = {}};
   result.faults = TransitionFaultList::collapsed(result.target);
   result.detect_count.assign(result.faults.size(), 0);
 
@@ -112,6 +113,15 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   result.circuit_area_um2 = circuit_area(result.target);
   result.overhead_percent =
       100.0 * result.hw_area / result.circuit_area_um2;
+  if (config.emit_rtl && !result.run.sequences.empty()) {
+    // Opens its own "rtl" phase span; the returned inventory reconciles with
+    // `plan` by construction (enforced in tests/rtl/consistency_test.cpp).
+    SessionConfig session;
+    session.misr_stages = config.rtl_misr_stages;
+    session.tpg = gen.tpg;
+    result.rtl = emit_bist_rtl(result.target, result.run, result.scan, session);
+  }
+
   FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);
   FBT_OBS_GAUGE_SET("flow.fault_coverage_percent",
                     result.fault_coverage_percent);

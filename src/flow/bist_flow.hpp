@@ -15,6 +15,7 @@
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/scan.hpp"
+#include "rtl/emit.hpp"
 
 namespace fbt {
 
@@ -29,6 +30,12 @@ struct BistExperimentConfig {
   /// sequences whose tests detect nothing the kept sequences miss
   /// (forward-looking fault simulation over sequence groups).
   bool reduce_sequences = true;
+  /// Emit the on-chip BIST machinery as Verilog after generation. Requires a
+  /// scan partition whose chain lengths all divide Lsc -- use
+  /// equal_partition_scan_config for `scan` (emit_bist_rtl fails loudly
+  /// otherwise).
+  bool emit_rtl = false;
+  unsigned rtl_misr_stages = 24;
 };
 
 struct BistExperimentResult {
@@ -47,6 +54,8 @@ struct BistExperimentResult {
   double overhead_percent = 0.0;
   std::size_t nsp = 0;       ///< specified inputs in the cube (Table 4.2)
   FunctionalBistConfig generation;  ///< the exact config used (bound filled)
+  /// Emitted BIST RTL (when config.emit_rtl and the run produced sequences).
+  std::optional<EmittedRtl> rtl;
 };
 
 /// Runs calibration + constrained (or unconstrained, when driver is

@@ -1,6 +1,8 @@
 #include "netlist/export.hpp"
 
+#include <cctype>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/require.hpp"
 
@@ -21,33 +23,94 @@ std::string verilog_primitive(GateType type) {
   }
 }
 
+bool is_verilog_reserved(std::string_view s) {
+  // Keywords a structural netlist could plausibly collide with, plus "clk"
+  // (every emitted module owns that port name).
+  static const std::unordered_set<std::string_view> kReserved = {
+      "always",   "and",    "assign", "begin",    "buf",     "case",
+      "endcase",  "else",   "end",    "endmodule","for",     "if",
+      "initial",  "inout",  "input",  "module",   "nand",    "negedge",
+      "nor",      "not",    "or",     "output",   "posedge", "reg",
+      "wire",     "while",  "xnor",   "xor",      "clk",     "tri",
+      "supply0",  "supply1","parameter", "localparam", "integer", "signed",
+  };
+  return kReserved.count(s) != 0;
+}
+
+/// Appends "__n<suffix>" until `name` is absent from `used`, then claims it.
+std::string claim_unique(std::string name, std::size_t suffix,
+                         std::unordered_set<std::string>& used) {
+  if (used.count(name) != 0) {
+    const std::string base = name;
+    name = base + "__n" + std::to_string(suffix);
+    while (used.count(name) != 0) name += "_";
+  }
+  used.insert(name);
+  return name;
+}
+
 }  // namespace
 
-std::string write_verilog(const Netlist& netlist) {
-  require(netlist.finalized(), "write_verilog", "netlist must be finalized");
-  std::ostringstream out;
-  out << "module " << netlist.name() << " (clk";
-  for (const NodeId pi : netlist.inputs()) {
-    out << ", " << netlist.gate(pi).name;
+std::string legalize_verilog_identifier(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == '$';
+    out.push_back(ok ? c : '_');
   }
-  for (const NodeId po : netlist.outputs()) {
-    out << ", " << netlist.gate(po).name << "_po";
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front())) ||
+      out.front() == '$') {
+    out.insert(0, "n_");
+  }
+  if (is_verilog_reserved(out)) out.insert(0, "id_");
+  return out;
+}
+
+VerilogNames verilog_names(const Netlist& netlist) {
+  VerilogNames names;
+  names.module_name = legalize_verilog_identifier(netlist.name());
+  std::unordered_set<std::string> used;
+  names.net.reserve(netlist.size());
+  for (NodeId id = 0; id < netlist.size(); ++id) {
+    names.net.push_back(
+        claim_unique(legalize_verilog_identifier(netlist.gate(id).name), id,
+                     used));
+  }
+  names.out_port.reserve(netlist.num_outputs());
+  for (std::size_t i = 0; i < netlist.num_outputs(); ++i) {
+    names.out_port.push_back(
+        claim_unique(names.net[netlist.outputs()[i]] + "_po", i, used));
+  }
+  return names;
+}
+
+std::string write_verilog_module(const Netlist& netlist) {
+  require(netlist.finalized(), "write_verilog", "netlist must be finalized");
+  const VerilogNames names = verilog_names(netlist);
+  std::ostringstream out;
+  out << "module " << names.module_name << " (clk";
+  for (const NodeId pi : netlist.inputs()) {
+    out << ", " << names.net[pi];
+  }
+  for (const std::string& port : names.out_port) {
+    out << ", " << port;
   }
   out << ");\n  input clk;\n";
   for (const NodeId pi : netlist.inputs()) {
-    out << "  input " << netlist.gate(pi).name << ";\n";
+    out << "  input " << names.net[pi] << ";\n";
   }
-  for (const NodeId po : netlist.outputs()) {
-    out << "  output " << netlist.gate(po).name << "_po;\n";
+  for (const std::string& port : names.out_port) {
+    out << "  output " << port << ";\n";
   }
   for (NodeId id = 0; id < netlist.size(); ++id) {
     if (netlist.type(id) == GateType::kInput) continue;
-    out << "  wire " << netlist.gate(id).name << ";\n";
+    out << "  wire " << names.net[id] << ";\n";
   }
   out << "\n";
-  for (const NodeId po : netlist.outputs()) {
-    out << "  assign " << netlist.gate(po).name << "_po = "
-        << netlist.gate(po).name << ";\n";
+  for (std::size_t i = 0; i < netlist.num_outputs(); ++i) {
+    out << "  assign " << names.out_port[i] << " = "
+        << names.net[netlist.outputs()[i]] << ";\n";
   }
   for (NodeId id = 0; id < netlist.size(); ++id) {
     const Gate& g = netlist.gate(id);
@@ -55,33 +118,41 @@ std::string write_verilog(const Netlist& netlist) {
       case GateType::kInput:
         break;
       case GateType::kDff:
-        out << "  fbt_dff dff_" << g.name << " (.clk(clk), .d("
-            << netlist.gate(netlist.dff_input(id)).name << "), .q(" << g.name
+        out << "  fbt_dff dff_" << names.net[id] << " (.clk(clk), .d("
+            << names.net[netlist.dff_input(id)] << "), .q(" << names.net[id]
             << "));\n";
         break;
       case GateType::kConst0:
-        out << "  assign " << g.name << " = 1'b0;\n";
+        out << "  assign " << names.net[id] << " = 1'b0;\n";
         break;
       case GateType::kConst1:
-        out << "  assign " << g.name << " = 1'b1;\n";
+        out << "  assign " << names.net[id] << " = 1'b1;\n";
         break;
       default: {
-        out << "  " << verilog_primitive(g.type) << " g_" << g.name << " ("
-            << g.name;
+        out << "  " << verilog_primitive(g.type) << " g_" << names.net[id]
+            << " (" << names.net[id];
         for (const NodeId f : g.fanins) {
-          out << ", " << netlist.gate(f).name;
+          out << ", " << names.net[f];
         }
         out << ");\n";
         break;
       }
     }
   }
-  out << "endmodule\n\n"
-      << "module fbt_dff (input clk, input d, output reg q);\n"
-      << "  initial q = 1'b0;\n"
-      << "  always @(posedge clk) q <= d;\n"
-      << "endmodule\n";
+  out << "endmodule\n";
   return out.str();
+}
+
+std::string fbt_dff_model_verilog() {
+  return
+      "module fbt_dff (input clk, input d, output reg q);\n"
+      "  initial q = 1'b0;\n"
+      "  always @(posedge clk) q <= d;\n"
+      "endmodule\n";
+}
+
+std::string write_verilog(const Netlist& netlist) {
+  return write_verilog_module(netlist) + "\n" + fbt_dff_model_verilog();
 }
 
 std::string write_dot(const Netlist& netlist) {

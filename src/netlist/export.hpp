@@ -2,19 +2,52 @@
 //
 // The dissertation's tool chain moves netlists between formats (appendix A's
 // "format convertor"); these exporters let fbtgen circuits be inspected with
-// standard EDA/graph tooling. Both are write-only views (the .bench reader
-// remains the ingest path).
+// standard EDA/graph tooling, and the RTL emission layer (src/rtl) reuses the
+// Verilog writer to produce the on-chip BIST hardware modules. The .bench
+// reader remains the ingest path; Verilog re-ingest is handled by the src/rtl
+// elaborator.
+//
+// Net names arriving from .bench sources may be illegal Verilog identifiers
+// (brackets, dots, leading digits) or collide with keywords; the writer
+// legalizes every identifier and dedupes collisions introduced by mangling.
 #pragma once
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
 namespace fbt {
 
+/// Mangles one name into a legal Verilog-2001 simple identifier: every
+/// character outside [A-Za-z0-9_$] becomes '_', a leading digit/'$' gets an
+/// "n_" prefix, and keywords (plus the reserved port name "clk") get an "id_"
+/// prefix. Deterministic and idempotent on already-legal non-reserved names.
+std::string legalize_verilog_identifier(std::string_view name);
+
+/// The legalized, collision-free identifiers the Verilog writer uses for one
+/// netlist: per-node net names, per-output port names (net name + "_po",
+/// deduped against everything else), and the module name.
+struct VerilogNames {
+  std::string module_name;
+  std::vector<std::string> net;       ///< indexed by NodeId
+  std::vector<std::string> out_port;  ///< indexed by output position
+};
+
+VerilogNames verilog_names(const Netlist& netlist);
+
 /// Structural Verilog-2001: one module, wire-per-net, primitive gate
-/// instances, and DFF instances of a behavioural `fbt_dff` cell appended to
-/// the output.
+/// instances, and DFF instances of a behavioural `fbt_dff` cell. Does NOT
+/// include the fbt_dff model itself (see fbt_dff_model_verilog) so that
+/// multi-module files define it exactly once.
+std::string write_verilog_module(const Netlist& netlist);
+
+/// The behavioural `fbt_dff` cell model (posedge D flop, initial q = 0).
+std::string fbt_dff_model_verilog();
+
+/// Single-module convenience: write_verilog_module plus the fbt_dff model
+/// appended once.
 std::string write_verilog(const Netlist& netlist);
 
 /// Graphviz DOT digraph (inputs as diamonds, flops as boxes, gates as

@@ -6,6 +6,17 @@
 
 namespace fbt {
 
+ScanConfig equal_partition_scan_config(std::size_t num_flops,
+                                       std::size_t max_chains) {
+  require(max_chains >= 1, "equal_partition_scan_config",
+          "max_chains must be >= 1");
+  if (num_flops == 0) return ScanConfig{1, 1};
+  for (std::size_t d = max_chains; d >= 2; --d) {
+    if (num_flops % d == 0) return ScanConfig{d, num_flops / d};
+  }
+  return ScanConfig{1, num_flops};
+}
+
 ScanChains::ScanChains(const Netlist& netlist, const ScanConfig& config) {
   require(config.max_chains >= 1, "ScanChains", "max_chains must be >= 1");
   require(config.min_chain_length >= 1, "ScanChains",

@@ -22,6 +22,13 @@ struct ScanConfig {
   std::size_t min_chain_length = 100;
 };
 
+/// A ScanConfig that makes ScanChains cut exactly equal-length chains: the
+/// largest divisor d <= max_chains of `num_flops` chains of num_flops/d flops
+/// each. Equal chains are required by the RTL emission layer -- the circular
+/// shift restores the state only when every chain's length divides Lsc.
+ScanConfig equal_partition_scan_config(std::size_t num_flops,
+                                       std::size_t max_chains = 10);
+
 /// A partition of the circuit's flip-flops into scan chains of approximately
 /// equal length, in flip-flop declaration order.
 class ScanChains {

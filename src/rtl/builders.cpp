@@ -1,0 +1,606 @@
+#include "rtl/builders.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "bist/lfsr.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+/// Thin construction helper: fresh unique gate names plus n-ary AND/OR/XOR
+/// that degenerate to buffers/constants for small fanin counts.
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name) : nl_(std::move(name)) {}
+
+  Netlist& netlist() { return nl_; }
+
+  NodeId input(std::string name) { return nl_.add_input(std::move(name)); }
+  NodeId dff(std::string name) { return nl_.add_dff(std::move(name)); }
+
+  NodeId gate(GateType type, std::vector<NodeId> fanins) {
+    return nl_.add_gate(type, fresh_name(), std::move(fanins));
+  }
+
+  NodeId const0() {
+    if (const0_ == kNoNode) const0_ = gate(GateType::kConst0, {});
+    return const0_;
+  }
+  NodeId const1() {
+    if (const1_ == kNoNode) const1_ = gate(GateType::kConst1, {});
+    return const1_;
+  }
+
+  NodeId buf(NodeId a) { return gate(GateType::kBuf, {a}); }
+  NodeId not_(NodeId a) { return gate(GateType::kNot, {a}); }
+  NodeId and2(NodeId a, NodeId b) { return gate(GateType::kAnd, {a, b}); }
+  NodeId or2(NodeId a, NodeId b) { return gate(GateType::kOr, {a, b}); }
+  NodeId xor2(NodeId a, NodeId b) { return gate(GateType::kXor, {a, b}); }
+
+  NodeId and_n(std::vector<NodeId> fanins) {
+    if (fanins.empty()) return const1();
+    if (fanins.size() == 1) return buf(fanins[0]);
+    return gate(GateType::kAnd, std::move(fanins));
+  }
+  NodeId or_n(std::vector<NodeId> fanins) {
+    if (fanins.empty()) return const0();
+    if (fanins.size() == 1) return buf(fanins[0]);
+    return gate(GateType::kOr, std::move(fanins));
+  }
+  NodeId xor_n(std::vector<NodeId> fanins) {
+    if (fanins.empty()) return const0();
+    if (fanins.size() == 1) return buf(fanins[0]);
+    return gate(GateType::kXor, std::move(fanins));
+  }
+
+  /// sel ? a : b, with the inverted select supplied so it can be shared.
+  NodeId mux(NodeId sel, NodeId not_sel, NodeId a, NodeId b) {
+    return or2(and2(sel, a), and2(not_sel, b));
+  }
+
+  /// Marks `node` as an output under the given port-friendly net name. The
+  /// port is a named buf so internal nets (e.g. a flop called q_0) can share
+  /// the stem; a taken name gets an "_out" suffix.
+  void output(NodeId node, std::string name) {
+    while (nl_.find(name) != kNoNode) name += "_out";
+    const NodeId port = nl_.add_gate(GateType::kBuf, std::move(name), {node});
+    nl_.mark_output(port);
+  }
+
+ private:
+  std::string fresh_name() { return "n" + std::to_string(counter_++); }
+
+  Netlist nl_;
+  std::size_t counter_ = 0;
+  NodeId const0_ = kNoNode;
+  NodeId const1_ = kNoNode;
+};
+
+/// A register file of `bits` flip-flops with helpers for the derived nets the
+/// controller needs: shared per-bit inverters, equality comparators, and the
+/// ripple incrementer.
+struct CounterNets {
+  std::vector<NodeId> q;
+  std::vector<NodeId> not_q;  // built lazily
+  std::vector<NodeId> inc;    // built lazily
+
+  static CounterNets make(ModuleBuilder& b, const std::string& stem,
+                          unsigned bits) {
+    CounterNets c;
+    for (unsigned i = 0; i < bits; ++i) {
+      c.q.push_back(b.dff(stem + "_" + std::to_string(i)));
+    }
+    c.not_q.assign(bits, kNoNode);
+    c.inc.assign(bits, kNoNode);
+    return c;
+  }
+
+  NodeId inv(ModuleBuilder& b, unsigned i) {
+    if (not_q[i] == kNoNode) not_q[i] = b.not_(q[i]);
+    return not_q[i];
+  }
+
+  /// AND of (q_i or ~q_i) per bit -- true when the counter equals `value`.
+  NodeId eq(ModuleBuilder& b, std::uint64_t value) {
+    std::vector<NodeId> terms;
+    for (unsigned i = 0; i < q.size(); ++i) {
+      terms.push_back(((value >> i) & 1) != 0 ? q[i] : inv(b, i));
+    }
+    return b.and_n(std::move(terms));
+  }
+
+  /// Ripple +1 (mod 2^bits): d_i = q_i ^ carry_i, carry_0 = 1.
+  void build_inc(ModuleBuilder& b) {
+    NodeId carry = kNoNode;  // implicit 1 for bit 0
+    for (unsigned i = 0; i < q.size(); ++i) {
+      inc[i] = i == 0 ? inv(b, 0) : b.xor2(q[i], carry);
+      carry = i == 0 ? q[0] : b.and2(carry, q[i]);
+    }
+  }
+};
+
+}  // namespace
+
+Netlist build_lfsr_module(unsigned stages) {
+  require(stages >= 2 && stages <= 32, "build_lfsr_module",
+          "stages must be in 2..32");
+  ModuleBuilder b("fbt_lfsr");
+  const NodeId en = b.input("en");
+  const NodeId load = b.input("load");
+  std::vector<NodeId> s;
+  for (unsigned i = 0; i < stages; ++i) {
+    s.push_back(b.input("s_" + std::to_string(i)));
+  }
+  std::vector<NodeId> q;
+  for (unsigned i = 0; i < stages; ++i) {
+    q.push_back(b.dff("q_" + std::to_string(i)));
+  }
+  const std::uint32_t taps = Lfsr::primitive_taps(stages);
+  std::vector<NodeId> tap_nets;
+  for (unsigned i = 0; i < stages; ++i) {
+    if ((taps >> i) & 1u) tap_nets.push_back(q[i]);
+  }
+  const NodeId fb = b.xor_n(std::move(tap_nets));
+  const NodeId not_en = b.not_(en);
+  const NodeId not_load = b.not_(load);
+  for (unsigned i = 0; i < stages; ++i) {
+    const NodeId shifted = i == 0 ? fb : q[i - 1];
+    const NodeId run = b.mux(en, not_en, shifted, q[i]);
+    b.netlist().set_dff_input(q[i], b.mux(load, not_load, s[i], run));
+  }
+  // Serial value entering the shift register at the next edge: the stepped
+  // LFSR's output Q[w-1]' equals the current Q[w-2].
+  b.output(q[stages - 2], "sout");
+  b.netlist().finalize();
+  return std::move(b.netlist());
+}
+
+Netlist build_shiftreg_module(std::size_t size) {
+  require(size >= 1, "build_shiftreg_module", "size must be >= 1");
+  ModuleBuilder b("fbt_shiftreg");
+  const NodeId en = b.input("en");
+  const NodeId sin = b.input("sin");
+  std::vector<NodeId> q;
+  for (std::size_t i = 0; i < size; ++i) {
+    q.push_back(b.dff("q_" + std::to_string(i)));
+  }
+  const NodeId not_en = b.not_(en);
+  for (std::size_t i = 0; i < size; ++i) {
+    const NodeId in = i == 0 ? sin : q[i - 1];
+    b.netlist().set_dff_input(q[i], b.mux(en, not_en, in, q[i]));
+  }
+  for (std::size_t i = 0; i + 1 < size; ++i) {
+    b.output(q[i], "q_" + std::to_string(i));
+  }
+  b.netlist().finalize();
+  return std::move(b.netlist());
+}
+
+Netlist build_bias_module(const Tpg& tpg) {
+  const std::size_t sr_size = tpg.shift_register_size();
+  const std::size_t npi = tpg.cube().values.size();
+  require(sr_size >= 1, "build_bias_module", "empty shift register");
+  ModuleBuilder b("fbt_bias");
+  std::vector<NodeId> d;
+  for (std::size_t i = 0; i < sr_size; ++i) {
+    d.push_back(b.input("d_" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < npi; ++i) {
+    const std::vector<std::uint32_t>& taps = tpg.input_taps(i);
+    std::vector<NodeId> ins;
+    for (const std::uint32_t t : taps) ins.push_back(d[t]);
+    NodeId out = kNoNode;
+    switch (tpg.cube().values[i]) {
+      case Val3::kX: out = ins[0]; break;
+      case Val3::k0: out = b.and_n(std::move(ins)); break;
+      case Val3::k1: out = b.or_n(std::move(ins)); break;
+    }
+    b.output(out, "pi_" + std::to_string(i));
+  }
+  b.netlist().finalize();
+  return std::move(b.netlist());
+}
+
+Netlist build_misr_module(unsigned stages, std::size_t num_pos,
+                          std::size_t num_chains) {
+  require(stages >= 2 && stages <= 32, "build_misr_module",
+          "stages must be in 2..32");
+  ModuleBuilder b("fbt_misr");
+  const NodeId en = b.input("en");
+  const NodeId sel = b.input("sel");
+  std::vector<NodeId> p, c;
+  for (std::size_t j = 0; j < num_pos; ++j) {
+    p.push_back(b.input("p_" + std::to_string(j)));
+  }
+  for (std::size_t j = 0; j < num_chains; ++j) {
+    c.push_back(b.input("c_" + std::to_string(j)));
+  }
+  std::vector<NodeId> q;
+  for (unsigned i = 0; i < stages; ++i) {
+    q.push_back(b.dff("q_" + std::to_string(i)));
+  }
+  const std::uint32_t taps = Lfsr::primitive_taps(stages);
+  std::vector<NodeId> tap_nets;
+  for (unsigned i = 0; i < stages; ++i) {
+    if ((taps >> i) & 1u) tap_nets.push_back(q[i]);
+  }
+  const NodeId fb = b.xor_n(std::move(tap_nets));
+  const NodeId not_en = b.not_(en);
+  const NodeId not_sel = b.not_(sel);
+  for (unsigned i = 0; i < stages; ++i) {
+    std::vector<NodeId> po_fold, sc_fold;
+    for (std::size_t j = i; j < num_pos; j += stages) po_fold.push_back(p[j]);
+    for (std::size_t j = i; j < num_chains; j += stages) {
+      sc_fold.push_back(c[j]);
+    }
+    const NodeId in =
+        b.mux(sel, not_sel, b.xor_n(std::move(po_fold)),
+              b.xor_n(std::move(sc_fold)));
+    const NodeId shifted = i == 0 ? fb : q[i - 1];
+    const NodeId next = b.xor2(shifted, in);
+    b.netlist().set_dff_input(q[i], b.mux(en, not_en, next, q[i]));
+    b.output(q[i], "sig_" + std::to_string(i));
+  }
+  b.netlist().finalize();
+  return std::move(b.netlist());
+}
+
+Netlist build_controller_module(const ControllerSpec& spec) {
+  require(spec.scan_length >= 1, "build_controller_module", "Lsc must be >= 1");
+  require(spec.shift_register_size >= 1, "build_controller_module",
+          "shift register must be non-empty");
+  require(!spec.sequences.empty(), "build_controller_module",
+          "plan has no sequences");
+  require(spec.q >= 1, "build_controller_module", "q must be >= 1");
+  const std::size_t period = std::size_t{1} << spec.q;
+  std::size_t lmax = 0;
+  for (const auto& seq : spec.sequences) {
+    require(!seq.empty(), "build_controller_module", "empty sequence");
+    for (const auto& [seed, len] : seq) {
+      require(len >= period && len % period == 0, "build_controller_module",
+              "segment lengths must be positive multiples of 2^q");
+      lmax = std::max(lmax, len);
+    }
+  }
+  require((std::uint64_t{1} << spec.cycle_counter_bits) > lmax,
+          "build_controller_module", "cycle counter too narrow");
+  require((std::uint64_t{1} << spec.shift_counter_bits) > spec.scan_length - 1,
+          "build_controller_module", "shift counter too narrow");
+  require((std::uint64_t{1} << spec.srinit_counter_bits) >
+              spec.shift_register_size - 1,
+          "build_controller_module", "SR-init counter too narrow");
+  require((std::uint64_t{1} << spec.sequence_counter_bits) >=
+              spec.sequences.size(),
+          "build_controller_module", "sequence counter too narrow");
+  const bool with_hold = spec.num_hold_sets > 0;
+  if (with_hold) {
+    require(spec.hold_period_log2 >= 1, "build_controller_module",
+            "hold needs h >= 1");
+    require(spec.set_counter_bits >= 1, "build_controller_module",
+            "hold needs a set counter");
+  }
+
+  ModuleBuilder b("fbt_ctrl");
+
+  // One-hot mode registers plus the power-up latch: all flops come up 0, so
+  // eff_init = m_init | ~started makes cycle 0 the first circuit-init cycle.
+  const NodeId started = b.dff("started");
+  const NodeId m_init = b.dff("m_init");
+  const NodeId m_seed = b.dff("m_seed");
+  const NodeId m_srinit = b.dff("m_srinit");
+  const NodeId m_apply = b.dff("m_apply");
+  const NodeId m_shift = b.dff("m_shift");
+  const NodeId m_done = b.dff("m_done");
+
+  CounterNets sh = CounterNets::make(b, "sh", spec.shift_counter_bits);
+  CounterNets sri = CounterNets::make(b, "sri", spec.srinit_counter_bits);
+  CounterNets cyc = CounterNets::make(b, "cyc", spec.cycle_counter_bits);
+  CounterNets seg = CounterNets::make(b, "seg", spec.segment_counter_bits);
+  CounterNets seqc = CounterNets::make(b, "seqc", spec.sequence_counter_bits);
+  sh.build_inc(b);
+  sri.build_inc(b);
+  cyc.build_inc(b);
+  seg.build_inc(b);
+  seqc.build_inc(b);
+
+  const NodeId eff_init = b.or2(m_init, b.not_(started));
+  const NodeId sh_is_last = sh.eq(b, spec.scan_length - 1);
+  const NodeId init_last = b.and2(eff_init, sh_is_last);
+  const NodeId sri_last =
+      b.and2(m_srinit, sri.eq(b, spec.shift_register_size - 1));
+  const NodeId shift_last = b.and2(m_shift, sh_is_last);
+
+  // Apply strobe (Fig. 4.6): the AND of the cycle counter's rightmost q bits
+  // is high on the second pattern of each test.
+  std::vector<NodeId> cap_terms = {m_apply};
+  for (unsigned i = 0; i < spec.q; ++i) cap_terms.push_back(cyc.q[i]);
+  const NodeId capture = b.and_n(std::move(cap_terms));
+
+  // Segment-end detection: during the circular shift the cycle counter holds
+  // the number of applied cycles, so comparing it against the selected
+  // segment's length decides between resuming and advancing.
+  std::vector<NodeId> seq_eq(spec.sequences.size());
+  for (std::size_t s = 0; s < spec.sequences.size(); ++s) {
+    seq_eq[s] = seqc.eq(b, s);
+  }
+  std::vector<std::vector<NodeId>> sel_sg(spec.sequences.size());
+  std::vector<NodeId> fin_terms;
+  for (std::size_t s = 0; s < spec.sequences.size(); ++s) {
+    for (std::size_t g = 0; g < spec.sequences[s].size(); ++g) {
+      const NodeId sel = b.and2(seq_eq[s], seg.eq(b, g));
+      sel_sg[s].push_back(sel);
+      fin_terms.push_back(b.and2(sel, cyc.eq(b, spec.sequences[s][g].second)));
+    }
+  }
+  const NodeId seg_fin = b.or_n(std::move(fin_terms));
+  std::vector<NodeId> last_seg_terms;
+  for (std::size_t s = 0; s < spec.sequences.size(); ++s) {
+    last_seg_terms.push_back(
+        b.and2(seq_eq[s], seg.eq(b, spec.sequences[s].size() - 1)));
+  }
+  const NodeId last_seg = b.or_n(std::move(last_seg_terms));
+  const NodeId last_seq = seqc.eq(b, spec.sequences.size() - 1);
+
+  const NodeId seg_adv = b.and2(shift_last, seg_fin);
+  const NodeId resume_apply = b.and2(shift_last, b.not_(seg_fin));
+  const NodeId go_seed_next = b.and2(seg_adv, b.not_(last_seg));
+  const NodeId go_init_next =
+      b.and_n({seg_adv, last_seg, b.not_(last_seq)});
+  const NodeId go_done = b.and_n({seg_adv, last_seg, last_seq});
+
+  // Next-state equations.
+  b.netlist().set_dff_input(started, b.const1());
+  b.netlist().set_dff_input(
+      m_init, b.or2(b.and2(eff_init, b.not_(init_last)), go_init_next));
+  b.netlist().set_dff_input(m_seed, b.or2(init_last, go_seed_next));
+  b.netlist().set_dff_input(
+      m_srinit, b.or2(m_seed, b.and2(m_srinit, b.not_(sri_last))));
+  b.netlist().set_dff_input(
+      m_apply,
+      b.or_n({sri_last, b.and2(m_apply, b.not_(capture)), resume_apply}));
+  b.netlist().set_dff_input(
+      m_shift, b.or2(capture, b.and2(m_shift, b.not_(shift_last))));
+  b.netlist().set_dff_input(m_done, b.or2(m_done, go_done));
+
+  // Counter next-state: count while mid-phase, otherwise return to zero
+  // (shift/SR-init), hold (cycle counter during the shift), or advance.
+  const NodeId sh_run = b.or2(b.and2(eff_init, b.not_(init_last)),
+                              b.and2(m_shift, b.not_(shift_last)));
+  for (unsigned i = 0; i < sh.q.size(); ++i) {
+    b.netlist().set_dff_input(sh.q[i], b.and2(sh_run, sh.inc[i]));
+  }
+  const NodeId sri_run = b.and2(m_srinit, b.not_(sri_last));
+  for (unsigned i = 0; i < sri.q.size(); ++i) {
+    b.netlist().set_dff_input(sri.q[i], b.and2(sri_run, sri.inc[i]));
+  }
+  const NodeId cyc_rst = b.or2(m_seed, eff_init);
+  const NodeId cyc_keep = b.not_(b.or2(m_apply, cyc_rst));
+  std::vector<NodeId> cyc_d(cyc.q.size());
+  for (unsigned i = 0; i < cyc.q.size(); ++i) {
+    cyc_d[i] =
+        b.or2(b.and2(m_apply, cyc.inc[i]), b.and2(cyc_keep, cyc.q[i]));
+    b.netlist().set_dff_input(cyc.q[i], cyc_d[i]);
+  }
+  const NodeId seg_keep =
+      b.not_(b.or_n({go_seed_next, go_init_next, go_done}));
+  for (unsigned i = 0; i < seg.q.size(); ++i) {
+    b.netlist().set_dff_input(
+        seg.q[i], b.or2(b.and2(go_seed_next, seg.inc[i]),
+                        b.and2(seg_keep, seg.q[i])));
+  }
+  const NodeId seq_keep = b.not_(go_init_next);
+  std::vector<NodeId> seq_d(seqc.q.size());
+  for (unsigned i = 0; i < seqc.q.size(); ++i) {
+    seq_d[i] = b.or2(b.and2(go_init_next, seqc.inc[i]),
+                     b.and2(seq_keep, seqc.q[i]));
+    b.netlist().set_dff_input(seqc.q[i], seq_d[i]);
+  }
+
+  // Seed ROM (Table 4.3's N_seeds * N_LFSR bits): an AND-OR select network
+  // over the segment-select terms.
+  std::vector<NodeId> seed_bits(spec.lfsr_bits);
+  for (unsigned bit = 0; bit < spec.lfsr_bits; ++bit) {
+    std::vector<NodeId> terms;
+    for (std::size_t s = 0; s < spec.sequences.size(); ++s) {
+      for (std::size_t g = 0; g < spec.sequences[s].size(); ++g) {
+        if ((spec.sequences[s][g].first >> bit) & 1u) {
+          terms.push_back(sel_sg[s][g]);
+        }
+      }
+    }
+    seed_bits[bit] = b.or_n(std::move(terms));
+  }
+
+  // Hold strobe + set decoder (Figs. 4.11, 4.13). The set register follows
+  // the sequence counter's D-side so it names the running sequence's set.
+  std::vector<NodeId> hold_lines;
+  if (with_hold) {
+    std::vector<NodeId> strobe_terms = {m_apply};
+    for (unsigned i = 0;
+         i < std::min<unsigned>(spec.hold_period_log2, cyc.q.size()); ++i) {
+      strobe_terms.push_back(cyc.inv(b, i));
+    }
+    const NodeId hold_strobe = b.and_n(std::move(strobe_terms));
+
+    CounterNets hset = CounterNets::make(b, "hset", spec.set_counter_bits);
+    const NodeId hvalid = b.dff("hvalid");
+    std::vector<NodeId> seq_d_not(seq_d.size(), kNoNode);
+    auto eq_seq_d = [&](std::size_t s) {
+      std::vector<NodeId> terms;
+      for (unsigned i = 0; i < seq_d.size(); ++i) {
+        if ((s >> i) & 1u) {
+          terms.push_back(seq_d[i]);
+        } else {
+          if (seq_d_not[i] == kNoNode) seq_d_not[i] = b.not_(seq_d[i]);
+          terms.push_back(seq_d_not[i]);
+        }
+      }
+      return b.and_n(std::move(terms));
+    };
+    std::vector<NodeId> valid_terms;
+    std::vector<std::vector<NodeId>> bit_terms(spec.set_counter_bits);
+    for (std::size_t s = 0; s < spec.hold_set_of_sequence.size() &&
+                            s < spec.sequences.size();
+         ++s) {
+      const std::size_t set = spec.hold_set_of_sequence[s];
+      if (set == static_cast<std::size_t>(-1)) continue;
+      require(set < spec.num_hold_sets, "build_controller_module",
+              "hold set index out of range");
+      const NodeId sel = eq_seq_d(s);
+      valid_terms.push_back(sel);
+      for (unsigned i = 0; i < spec.set_counter_bits; ++i) {
+        if ((set >> i) & 1u) bit_terms[i].push_back(sel);
+      }
+    }
+    b.netlist().set_dff_input(hvalid, b.or_n(std::move(valid_terms)));
+    for (unsigned i = 0; i < spec.set_counter_bits; ++i) {
+      b.netlist().set_dff_input(hset.q[i], b.or_n(std::move(bit_terms[i])));
+    }
+    for (std::size_t k = 0; k < spec.num_hold_sets; ++k) {
+      hold_lines.push_back(
+          b.and_n({hold_strobe, hvalid, hset.eq(b, k)}));
+    }
+  }
+
+  // Output ports, in the order documented in builders.hpp.
+  b.output(eff_init, "mode_init");
+  b.output(m_seed, "mode_seed");
+  b.output(m_srinit, "mode_srinit");
+  b.output(m_apply, "mode_apply");
+  b.output(m_shift, "mode_shift");
+  b.output(m_done, "done");
+  b.output(capture, "capture");
+  b.output(b.or2(m_srinit, m_apply), "tpg_en");
+  b.output(m_seed, "seed_load");
+  b.output(b.or_n({eff_init, m_apply, m_shift}), "ce");
+  b.output(b.or2(eff_init, m_shift), "scan_en");
+  b.output(b.or2(capture, m_shift), "misr_en");
+  b.output(m_apply, "misr_sel");
+  for (unsigned bit = 0; bit < spec.lfsr_bits; ++bit) {
+    b.output(seed_bits[bit], "seed_" + std::to_string(bit));
+  }
+  for (std::size_t k = 0; k < hold_lines.size(); ++k) {
+    b.output(hold_lines[k], "hold_" + std::to_string(k));
+  }
+  b.netlist().finalize();
+  return std::move(b.netlist());
+}
+
+Netlist build_cut_wrapper(
+    const Netlist& cut, const ScanChains& scan,
+    const std::vector<std::vector<std::size_t>>& hold_sets) {
+  require(cut.finalized(), "build_cut_wrapper", "CUT must be finalized");
+  Netlist nl(cut.name() + "_bist_wrap");
+
+  // Mirror the CUT node-for-node; ids are preserved because every original
+  // gate's fanins precede it (add_gate enforced that when the CUT was built).
+  for (NodeId id = 0; id < cut.size(); ++id) {
+    const Gate& g = cut.gate(id);
+    NodeId copy = kNoNode;
+    switch (g.type) {
+      case GateType::kInput: copy = nl.add_input(g.name); break;
+      case GateType::kDff: copy = nl.add_dff(g.name); break;
+      default: copy = nl.add_gate(g.type, g.name, g.fanins); break;
+    }
+    require(copy == id, "build_cut_wrapper", "internal: id mapping drift");
+  }
+
+  auto fresh_input = [&](std::string name) {
+    while (cut.find(name) != kNoNode) name += "_";
+    return nl.add_input(std::move(name));
+  };
+  const NodeId ce = fresh_input("fbt_ce");
+  const NodeId scan_en = fresh_input("fbt_scan_en");
+  std::vector<NodeId> scan_in;
+  for (std::size_t ch = 0; ch < scan.num_chains(); ++ch) {
+    scan_in.push_back(fresh_input("fbt_scan_in_" + std::to_string(ch)));
+  }
+  std::vector<NodeId> hold_in;
+  for (std::size_t k = 0; k < hold_sets.size(); ++k) {
+    hold_in.push_back(fresh_input("fbt_hold_" + std::to_string(k)));
+  }
+
+  std::size_t fresh = 0;
+  auto gate = [&](GateType type, std::vector<NodeId> fanins) {
+    std::string name;
+    do {
+      name = "fbt_w" + std::to_string(fresh++);
+    } while (cut.find(name) != kNoNode);
+    return nl.add_gate(type, std::move(name), std::move(fanins));
+  };
+
+  const NodeId not_ce = gate(GateType::kNot, {ce});
+  const NodeId not_scan_en = gate(GateType::kNot, {scan_en});
+  std::vector<NodeId> not_hold;
+  for (const NodeId h : hold_in) not_hold.push_back(gate(GateType::kNot, {h}));
+
+  // Per flop: which hold set (if any) covers it, and its chain position.
+  std::vector<std::size_t> hold_of(cut.num_flops(),
+                                   static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < hold_sets.size(); ++k) {
+    for (const std::size_t f : hold_sets[k]) {
+      require(f < cut.num_flops(), "build_cut_wrapper",
+              "hold set flop index out of range");
+      require(hold_of[f] == static_cast<std::size_t>(-1), "build_cut_wrapper",
+              "hold sets must be disjoint");
+      hold_of[f] = k;
+    }
+  }
+  std::unordered_map<NodeId, std::size_t> flop_pos;
+  for (std::size_t i = 0; i < cut.num_flops(); ++i) {
+    flop_pos[cut.flops()[i]] = i;
+  }
+
+  for (std::size_t ch = 0; ch < scan.num_chains(); ++ch) {
+    const std::vector<NodeId>& chain = scan.chain(ch);
+    const std::size_t n = chain.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const NodeId flop = chain[k];
+      // Rotation wiring matching the behavioral scan-out order s_{n-1},
+      // s_0, .., s_{n-2}: the next-to-last position takes scan-in, the last
+      // takes position 0, everything else shifts down one. A single-flop
+      // chain takes scan-in directly -- during the circular shift that is its
+      // own value (scan_in = scan_out & mode_shift), while circuit init
+      // (mode_shift low) flushes it to 0 like any other chain.
+      NodeId d_scan = kNoNode;
+      if (n == 1) {
+        d_scan = scan_in[ch];
+      } else if (k == n - 2) {
+        d_scan = scan_in[ch];
+      } else if (k == n - 1) {
+        d_scan = chain[0];
+      } else {
+        d_scan = chain[k + 1];
+      }
+      NodeId core = cut.dff_input(flop);
+      const std::size_t hset = hold_of[flop_pos.at(flop)];
+      if (hset != static_cast<std::size_t>(-1)) {
+        core = gate(GateType::kOr,
+                    {gate(GateType::kAnd, {hold_in[hset], flop}),
+                     gate(GateType::kAnd, {not_hold[hset], core})});
+      }
+      const NodeId sel =
+          gate(GateType::kOr, {gate(GateType::kAnd, {scan_en, d_scan}),
+                               gate(GateType::kAnd, {not_scan_en, core})});
+      const NodeId d = gate(GateType::kOr,
+                            {gate(GateType::kAnd, {ce, sel}),
+                             gate(GateType::kAnd, {not_ce, flop})});
+      nl.set_dff_input(flop, d);
+    }
+  }
+
+  for (const NodeId po : cut.outputs()) nl.mark_output(po);
+  for (std::size_t ch = 0; ch < scan.num_chains(); ++ch) {
+    std::string name = "fbt_scan_out_" + std::to_string(ch);
+    while (cut.find(name) != kNoNode) name += "_";
+    const NodeId out =
+        nl.add_gate(GateType::kBuf, std::move(name), {scan.chain(ch).back()});
+    nl.mark_output(out);
+  }
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace fbt

@@ -1,0 +1,91 @@
+// Gate-level builders for the emitted BIST hardware (dissertation §4.4).
+//
+// Each builder synthesizes one RTL module of the on-chip generation logic as
+// a structural fbt::Netlist -- flip-flops plus primitive gates -- so that the
+// Verilog writer can emit it and the inventory/consistency checks can count
+// its flops and gates directly. The controller FSM, the counters, the seed
+// ROM, the apply/hold strobes, and the clock-gating muxes are all expressed
+// as explicit gates; there is no behavioral Verilog beyond the shared
+// fbt_dff cell model.
+//
+// All modules are clocked by the single `clk` port the Verilog writer adds;
+// "clock gating" is implemented as recirculating muxes on the D inputs
+// (synthesis-safe, cycle-equivalent to gating the clock of Figs. 4.2/4.10).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bist/tpg.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+/// Everything the controller module needs to know about the test plan. The
+/// seed ROM stores the *effective* seeds (masked to the LFSR width, zero
+/// replaced by 1 -- Lfsr::seed's semantics).
+struct ControllerSpec {
+  std::size_t shift_register_size = 0;  ///< SR-init phase length (>= 1)
+  std::size_t scan_length = 0;          ///< Lsc (>= 1)
+  unsigned q = 1;
+  unsigned lfsr_bits = 32;
+  /// Per sequence: (effective seed, segment length) per segment.
+  std::vector<std::vector<std::pair<std::uint32_t, std::size_t>>> sequences;
+
+  // Counter widths (chosen by the emitter to match the hardware plan).
+  unsigned cycle_counter_bits = 1;
+  unsigned shift_counter_bits = 1;
+  unsigned segment_counter_bits = 1;
+  unsigned sequence_counter_bits = 1;
+  unsigned srinit_counter_bits = 1;
+
+  // State holding (§4.5): 0 hold sets disables the hold machinery.
+  unsigned hold_period_log2 = 0;
+  std::size_t num_hold_sets = 0;
+  unsigned set_counter_bits = 0;
+  /// Per sequence: hold-set index or kNoHoldSet; shorter than sequences
+  /// means the remaining sequences run unheld.
+  std::vector<std::size_t> hold_set_of_sequence;
+};
+
+/// Fibonacci LFSR with parallel seed load (Fig. 4.3). Ports: en, load,
+/// s_0..s_{w-1}; output sout = Q[w-2], the value the serial output will show
+/// *after* the pending step -- the shift register and the biasing network
+/// read the D-side of the TPG so that a flat (single-clock-domain) RTL model
+/// matches the behavioral clock-then-read sequence exactly.
+Netlist build_lfsr_module(unsigned stages);
+
+/// Serial shift register of the TPG (Fig. 4.8). Ports: en, sin; outputs
+/// q_0..q_{size-2} (the last stage feeds nothing downstream).
+Netlist build_shiftreg_module(std::size_t size);
+
+/// Input-cube biasing network (Fig. 4.8): per primary input an m-input AND
+/// (C(i)=0), OR (C(i)=1), or buffer (X) over the shift register's D-side
+/// values d_0..d_{size-1}. Outputs pi_0..pi_{N_PI-1}.
+Netlist build_bias_module(const Tpg& tpg);
+
+/// MISR with a front-end fold mux (Fig. 4.4): when sel=1 the primary-output
+/// response p_* folds onto the stages, when sel=0 the scan-out bits c_* do.
+Netlist build_misr_module(unsigned stages, std::size_t num_pos,
+                          std::size_t num_chains);
+
+/// The controller FSM of Fig. 4.2 plus the counters of Fig. 4.6, the seed
+/// ROM, and (optionally) the hold strobe/set decoder of Figs. 4.11/4.13, as
+/// one-hot synchronous logic. Output ports, in marking order: mode_init,
+/// mode_seed, mode_srinit, mode_apply, mode_shift, done, capture, tpg_en,
+/// seed_load, ce, scan_en, misr_en, misr_sel, seed_0..seed_{w-1},
+/// hold_0..hold_{H-1}.
+Netlist build_controller_module(const ControllerSpec& spec);
+
+/// Copy of the CUT with the test access stitched in: new inputs fbt_ce,
+/// fbt_scan_en, fbt_scan_in_<ch> and (per hold set) fbt_hold_<k>; new
+/// outputs fbt_scan_out_<ch>. Node ids of the original netlist are preserved.
+/// The scan path implements the circular shift of Fig. 4.5 with the rotation
+/// order the behavioral session observes (last flop first); the hold inputs
+/// recirculate the held flops' values (Fig. 4.10's gating, as muxes).
+Netlist build_cut_wrapper(const Netlist& cut, const ScanChains& scan,
+                          const std::vector<std::vector<std::size_t>>& hold_sets);
+
+}  // namespace fbt

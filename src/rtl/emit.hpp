@@ -1,0 +1,94 @@
+// RTL emission of the complete BIST machinery (dissertation §4.4).
+//
+// emit_bist_rtl() turns a CUT plus a generated test plan into synthesizable
+// Verilog-2001: the TPG (LFSR, shift register, biasing network), the
+// controller FSM with its counters and seed ROM, the MISR, a scan/hold
+// wrapper around the CUT, and a top module stitching them together. The
+// returned inventory counts the emitted hardware so it can be reconciled
+// against the analytic BistHardwarePlan the area model charges -- drift
+// between the two is a bug and fails loudly in the consistency tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bist/area_model.hpp"
+#include "bist/functional_bist.hpp"
+#include "bist/session.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt {
+
+struct RtlEmitOptions {
+  std::string top_name = "fbt_bist_top";
+};
+
+/// Hardware counted from the emitted module netlists. The first group mirrors
+/// BistHardwarePlan field-for-field; the second group is RTL-only machinery
+/// the analytic plan does not charge (see DESIGN.md).
+struct RtlInventory {
+  // Mirrors BistHardwarePlan.
+  unsigned lfsr_bits = 0;
+  std::size_t bias_gates = 0;
+  unsigned bias_gate_inputs = 0;
+  unsigned cycle_counter_bits = 0;
+  unsigned shift_counter_bits = 0;
+  unsigned segment_counter_bits = 0;
+  unsigned sequence_counter_bits = 0;
+  std::size_t seed_rom_bits = 0;
+  bool with_hold = false;
+  std::size_t hold_sets = 0;
+  unsigned set_counter_bits = 0;
+  std::size_t decoder_outputs = 0;
+
+  // RTL-only (not charged by the area model).
+  unsigned srinit_counter_bits = 0;  ///< counts the SR fill phase
+  std::size_t seed_rom_entries = 0;
+  std::size_t shiftreg_flops = 0;  ///< primary-input shift register (§4.6)
+  std::size_t misr_flops = 0;      ///< response compactor (§4.6)
+  std::size_t fsm_flops = 0;       ///< one-hot mode registers + power-up latch
+
+  // Totals over all emitted modules (wrapper included).
+  std::size_t total_flops = 0;
+  std::size_t total_gates = 0;
+  std::size_t cut_flops = 0;  ///< flops of the wrapped CUT
+  std::size_t cut_gates = 0;  ///< combinational gates of the wrapped CUT
+};
+
+/// Flattened-net names the lockstep checker probes in the elaborated design.
+struct RtlProbes {
+  std::vector<std::string> mode;  ///< init, seed, srinit, apply, shift
+  std::string done;
+  std::string capture;
+  std::vector<std::string> pi;     ///< per CUT primary input
+  std::vector<std::string> state;  ///< per CUT flop (wrapper-instance nets)
+  std::vector<std::string> misr;   ///< per MISR stage, LSB first
+};
+
+struct EmittedRtl {
+  std::string verilog;  ///< all modules, top, and the fbt_dff cell model
+  std::string top_name;
+  RtlInventory inventory;
+  RtlProbes probes;
+};
+
+/// Emits the full BIST RTL for `cut` running `plan` under `session`.
+/// Preconditions (checked): the CUT has at least one flop and one input,
+/// every scan-chain length divides Lsc (so the circular shift restores the
+/// state), and every segment length is a positive multiple of 2^q.
+EmittedRtl emit_bist_rtl(const Netlist& cut, const FunctionalBistResult& plan,
+                         const ScanChains& scan, const SessionConfig& session,
+                         const RtlEmitOptions& opts = {});
+
+/// Field-by-field comparison of the emitted inventory against the analytic
+/// hardware plan. Returns human-readable mismatch descriptions (empty means
+/// consistent). `allow_wider_sequence_counter` accepts an emitted sequence
+/// counter wider than planned -- the emitted controller spans the
+/// concatenated base+hold session while plan_hold_bist_hardware sizes the
+/// counter for the wider of the two phases (the phases share it on-chip).
+std::vector<std::string> reconcile_inventory(
+    const RtlInventory& inventory, const BistHardwarePlan& plan,
+    bool allow_wider_sequence_counter = false);
+
+}  // namespace fbt

@@ -1,0 +1,52 @@
+// Lockstep equivalence check: emitted RTL vs the behavioral BistSession.
+//
+// The behavioral session (src/bist/session.cpp) is the golden model. The
+// emitted Verilog is elaborated into a flat cycle-steppable netlist and both
+// are advanced clock-for-clock over the full 2q-cycle session: each cycle the
+// controller's mode one-hot and the capture strobe are compared, on apply
+// cycles the TPG's primary-input vector and the CUT's post-edge state are
+// compared bit-for-bit, and the MISR register is compared every cycle. At the
+// end the RTL must assert done and hold the behavioral signature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bist/functional_bist.hpp"
+#include "bist/session.hpp"
+#include "netlist/scan.hpp"
+#include "rtl/elaborate.hpp"
+#include "rtl/emit.hpp"
+
+namespace fbt {
+
+struct LockstepConfig {
+  std::size_t max_detail = 8;  ///< mismatch descriptions kept verbatim
+};
+
+struct LockstepReport {
+  bool ok = false;
+  std::size_t cycles_checked = 0;
+  std::size_t mismatches = 0;
+  bool done_asserted = false;
+  std::uint32_t behavioral_signature = 0;
+  std::uint32_t rtl_signature = 0;
+  std::vector<std::string> details;  ///< first few mismatches, for messages
+};
+
+/// Runs the behavioral session and the elaborated RTL in lockstep.
+LockstepReport run_lockstep(const Netlist& cut, const FunctionalBistResult& plan,
+                            const ScanChains& scan,
+                            const SessionConfig& session,
+                            const EmittedRtl& rtl, const RtlDesign& design,
+                            const LockstepConfig& config = {});
+
+/// Convenience: emit, elaborate, and run the lockstep in one call.
+LockstepReport check_bist_rtl(const Netlist& cut,
+                              const FunctionalBistResult& plan,
+                              const ScanChains& scan,
+                              const SessionConfig& session,
+                              const LockstepConfig& config = {});
+
+}  // namespace fbt

@@ -5,6 +5,7 @@
 #include "circuits/registry.hpp"
 #include "circuits/s27.hpp"
 #include "fault/fault_sim.hpp"
+#include "util/require.hpp"
 
 namespace fbt {
 namespace {
@@ -92,6 +93,91 @@ TEST(Session, CycleAccountingMatchesPlan) {
   EXPECT_EQ(report.functional_cycles, functional);
   EXPECT_EQ(report.shift_cycles,
             fx.plan.num_tests * fx.scan.longest_length());
+}
+
+// Counts what a SessionObserver sees so the waveform bookkeeping can be
+// checked against the report.
+struct CountingObserver final : SessionObserver {
+  std::size_t cycles = 0;
+  std::size_t captures = 0;
+  std::size_t apply_cycles = 0;
+  std::size_t last_index = 0;
+  std::uint32_t last_misr = 0;
+  bool indices_monotone = true;
+
+  void on_cycle(const SessionCycle& cycle) override {
+    if (cycles > 0 && cycle.index != last_index + 1) indices_monotone = false;
+    last_index = cycle.index;
+    ++cycles;
+    if (cycle.capture) ++captures;
+    if (cycle.mode == BistMode::kApply) {
+      ++apply_cycles;
+      EXPECT_FALSE(cycle.pi.empty());
+      EXPECT_FALSE(cycle.state.empty());
+    } else {
+      EXPECT_TRUE(cycle.pi.empty());
+      EXPECT_TRUE(cycle.state.empty());
+    }
+    last_misr = cycle.misr;
+  }
+};
+
+TEST(Session, ObserverSeesEveryCycleAndTheFinalSignature) {
+  SessionFixture fx("s27");
+  ASSERT_GT(fx.plan.num_tests, 0u);
+  CountingObserver obs;
+  const SessionReport report =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{}, kNoNode,
+                       true, &obs);
+  EXPECT_EQ(obs.cycles, report.total_cycles);
+  EXPECT_TRUE(obs.indices_monotone);
+  EXPECT_EQ(obs.apply_cycles, report.functional_cycles);
+  // With q = 1 every second apply cycle captures.
+  EXPECT_EQ(obs.captures, report.functional_cycles / 2);
+  EXPECT_EQ(obs.last_misr, report.signature);
+}
+
+TEST(Session, HoldingAStateVariableChangesTheTrajectory) {
+  SessionFixture fx("s298");
+  ASSERT_GT(fx.plan.num_tests, 0u);
+  const SessionReport plain =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, SessionConfig{});
+
+  SessionConfig held;
+  held.hold_period_log2 = 1;
+  held.hold_sets.assign(1, {});
+  for (std::size_t f = 0; f < fx.netlist.num_flops(); ++f) {
+    held.hold_sets[0].push_back(f);
+  }
+  held.hold_set_of_sequence.assign(fx.plan.sequences.size(), 0);
+  const SessionReport gated =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, held);
+  // Same cycle accounting, different response stream: holding every state
+  // variable on the strobe steers the circuit off the functional trajectory.
+  EXPECT_EQ(gated.total_cycles, plain.total_cycles);
+  EXPECT_EQ(gated.tests_applied, plain.tests_applied);
+  EXPECT_NE(gated.signature, plain.signature);
+
+  // A sequence past hold_set_of_sequence's end runs unheld: restricting the
+  // mapping to no sequences reproduces the plain signature exactly.
+  SessionConfig unmapped = held;
+  unmapped.hold_set_of_sequence.clear();
+  const SessionReport same =
+      run_bist_session(fx.netlist, fx.plan, fx.scan, unmapped);
+  EXPECT_EQ(same.signature, plain.signature);
+}
+
+TEST(Session, HoldConfigIsValidated) {
+  SessionFixture fx("s27");
+  SessionConfig bad;
+  bad.hold_sets = {{0}};
+  bad.hold_set_of_sequence = {0};
+  // hold sets without a period are a configuration error.
+  EXPECT_THROW(run_bist_session(fx.netlist, fx.plan, fx.scan, bad), Error);
+
+  bad.hold_period_log2 = 1;
+  bad.hold_sets = {{fx.netlist.num_flops()}};  // flop index out of range
+  EXPECT_THROW(run_bist_session(fx.netlist, fx.plan, fx.scan, bad), Error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "fault/fault_sim.hpp"
+#include "rtl/lockstep.hpp"
 
 namespace fbt {
 namespace {
@@ -71,6 +72,30 @@ TEST(BistFlow, SequenceReductionPreservesCoverage) {
   std::size_t covered = 0;
   for (const std::uint32_t c : regraded) covered += (c >= 1);
   EXPECT_EQ(covered, reduced.detected);
+}
+
+TEST(BistFlow, EmitsRtlThatTracksTheGeneratedPlan) {
+  BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  cfg.generation.tpg.lfsr_stages = 8;
+  cfg.generation.tpg.bias_bits = 2;
+  cfg.scan = equal_partition_scan_config(14);  // s298 has 14 flops
+  cfg.emit_rtl = true;
+  cfg.rtl_misr_stages = 16;
+  const BistExperimentResult r = run_bist_experiment(cfg);
+  ASSERT_TRUE(r.rtl.has_value());
+  EXPECT_FALSE(r.rtl->verilog.empty());
+  EXPECT_EQ(r.rtl->inventory.cut_flops, r.target.num_flops());
+
+  // The flow's emitted RTL passes the full lockstep against the session that
+  // replays its own plan.
+  SessionConfig session;
+  session.misr_stages = cfg.rtl_misr_stages;
+  session.tpg = r.generation.tpg;
+  const RtlDesign design = elaborate_verilog(r.rtl->verilog, r.rtl->top_name);
+  const LockstepReport rep =
+      run_lockstep(r.target, r.run, r.scan, session, *r.rtl, design);
+  EXPECT_TRUE(rep.ok) << rep.mismatches << " mismatches";
+  EXPECT_TRUE(rep.done_asserted);
 }
 
 TEST(BistFlow, HoldExperimentImprovesOrKeepsCoverage) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "circuits/s27.hpp"
 
 namespace fbt {
@@ -18,6 +21,62 @@ TEST(Export, VerilogContainsEveryGateAndFlop) {
   EXPECT_NE(v.find("output G17_po"), std::string::npos);
   // The behavioural flop cell is appended once.
   EXPECT_NE(v.find("module fbt_dff"), std::string::npos);
+}
+
+TEST(Export, LegalizesHostileIdentifiers) {
+  EXPECT_EQ(legalize_verilog_identifier("G1[3]"), "G1_3_");
+  EXPECT_EQ(legalize_verilog_identifier("a.b"), "a_b");
+  EXPECT_EQ(legalize_verilog_identifier("9out"), "n_9out");
+  EXPECT_EQ(legalize_verilog_identifier("wire"), "id_wire");
+  EXPECT_EQ(legalize_verilog_identifier("clk"), "id_clk");
+  // Idempotent on already-legal, non-reserved names.
+  EXPECT_EQ(legalize_verilog_identifier("G1_3_"), "G1_3_");
+  EXPECT_EQ(legalize_verilog_identifier("n_9out"), "n_9out");
+}
+
+TEST(Export, DedupesCollidingMangledNames) {
+  Netlist nl("2bad name");
+  const NodeId a = nl.add_input("G1[3]");
+  const NodeId b = nl.add_input("G1_3_");  // collides once legalized
+  const NodeId ff = nl.add_dff("wire");
+  const NodeId y = nl.add_gate(GateType::kAnd, "a.b", {a, b});
+  nl.set_dff_input(ff, y);
+  nl.mark_output(y);
+  nl.finalize();
+
+  const VerilogNames names = verilog_names(nl);
+  EXPECT_EQ(names.module_name, legalize_verilog_identifier("2bad name"));
+  // All net names and the output port are pairwise distinct.
+  std::set<std::string> seen(names.net.begin(), names.net.end());
+  EXPECT_EQ(seen.size(), names.net.size());
+  for (const std::string& port : names.out_port) {
+    EXPECT_TRUE(seen.insert(port).second) << port;
+  }
+  // The emitted text declares both deduped names as ports.
+  const std::string v = write_verilog(nl);
+  EXPECT_NE(v.find("input " + names.net[a] + ";"), std::string::npos);
+  EXPECT_NE(v.find("input " + names.net[b] + ";"), std::string::npos);
+  EXPECT_NE(names.net[a], names.net[b]);
+}
+
+TEST(Export, OutputPortOfANetNamedLikeAnotherPortIsDeduped) {
+  // A net literally named "y_po" next to an output net "y" would collide with
+  // y's port name; the writer must keep them apart.
+  Netlist nl("ports");
+  const NodeId a = nl.add_input("a");
+  const NodeId y = nl.add_gate(GateType::kBuf, "y", {a});
+  const NodeId y_po = nl.add_gate(GateType::kNot, "y_po", {a});
+  nl.mark_output(y);
+  nl.mark_output(y_po);
+  nl.finalize();
+
+  const VerilogNames names = verilog_names(nl);
+  std::set<std::string> all(names.net.begin(), names.net.end());
+  for (const std::string& port : names.out_port) {
+    EXPECT_TRUE(all.insert(port).second) << port;
+  }
+  (void)y;
+  (void)y_po;
 }
 
 TEST(Export, DotHasOneNodePerGateAndEdgesPerFanin) {

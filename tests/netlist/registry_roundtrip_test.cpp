@@ -1,0 +1,79 @@
+// Satellite: every registry benchmark must survive netlist -> write_bench ->
+// parse_bench with full structural equality (node types, fanin lists by name,
+// and the PI/PO/flop name sets), not just matching counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "circuits/registry.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace fbt {
+namespace {
+
+struct NodeShape {
+  GateType type = GateType::kBuf;
+  std::vector<std::string> fanins;  // in fanin order
+  bool operator==(const NodeShape&) const = default;
+};
+
+std::map<std::string, NodeShape> shape_by_name(const Netlist& nl) {
+  std::map<std::string, NodeShape> shapes;
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    NodeShape s;
+    s.type = g.type;
+    for (const NodeId f : g.fanins) s.fanins.push_back(nl.gate(f).name);
+    const bool inserted = shapes.emplace(g.name, std::move(s)).second;
+    EXPECT_TRUE(inserted) << nl.name() << ": duplicate node name " << g.name;
+  }
+  return shapes;
+}
+
+std::set<std::string> names_of(const Netlist& nl,
+                               const std::vector<NodeId>& ids) {
+  std::set<std::string> names;
+  for (const NodeId id : ids) names.insert(nl.gate(id).name);
+  return names;
+}
+
+TEST(RegistryRoundtrip, EveryBenchmarkIsStructurallyStable) {
+  for (const BenchmarkSpec& spec : benchmark_registry()) {
+    const Netlist original = load_benchmark(spec.name);
+    const Netlist reparsed =
+        parse_bench(write_bench(original), original.name());
+
+    ASSERT_EQ(reparsed.size(), original.size()) << spec.name;
+    EXPECT_EQ(reparsed.num_inputs(), original.num_inputs()) << spec.name;
+    EXPECT_EQ(reparsed.num_outputs(), original.num_outputs()) << spec.name;
+    EXPECT_EQ(reparsed.num_flops(), original.num_flops()) << spec.name;
+    EXPECT_EQ(reparsed.num_gates(), original.num_gates()) << spec.name;
+
+    const auto a = shape_by_name(original);
+    const auto b = shape_by_name(reparsed);
+    ASSERT_EQ(a.size(), b.size()) << spec.name;
+    for (const auto& [name, shape] : a) {
+      const auto it = b.find(name);
+      ASSERT_NE(it, b.end()) << spec.name << ": node " << name << " lost";
+      EXPECT_EQ(it->second.type, shape.type) << spec.name << " node " << name;
+      EXPECT_EQ(it->second.fanins, shape.fanins)
+          << spec.name << " node " << name;
+    }
+
+    EXPECT_EQ(names_of(reparsed, reparsed.inputs()),
+              names_of(original, original.inputs()))
+        << spec.name;
+    EXPECT_EQ(names_of(reparsed, reparsed.outputs()),
+              names_of(original, original.outputs()))
+        << spec.name;
+    EXPECT_EQ(names_of(reparsed, reparsed.flops()),
+              names_of(original, original.flops()))
+        << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace fbt

@@ -55,6 +55,29 @@ TEST(ScanChains, RespectsMaxChains) {
   EXPECT_EQ(scan.longest_length(), 125u);
 }
 
+TEST(ScanChains, EqualPartitionConfigDividesEveryChainIntoLsc) {
+  // For a range of flop counts the derived config must yield chains whose
+  // lengths all divide the longest (the RTL circular-shift restoration
+  // precondition), with as many chains as a divisor <= 10 allows.
+  for (const std::size_t nff :
+       {1u, 2u, 3u, 7u, 21u, 74u, 229u, 1128u, 1200u}) {
+    SynthParams p;
+    p.name = "equal_part";
+    p.num_inputs = 4;
+    p.num_outputs = 2;
+    p.num_flops = nff;
+    p.num_gates = 4 * nff + 8;
+    p.seed = 11;
+    const Netlist nl = generate_synthetic(p);
+    const ScanChains scan(nl, equal_partition_scan_config(nff));
+    ASSERT_GE(scan.num_chains(), 1u) << nff;
+    for (std::size_t c = 0; c < scan.num_chains(); ++c) {
+      EXPECT_EQ(scan.longest_length() % scan.chain(c).size(), 0u) << nff;
+      EXPECT_EQ(scan.chain(c).size(), scan.longest_length()) << nff;
+    }
+  }
+}
+
 TEST(ScanChains, NoFlopsYieldsNoChains) {
   const Netlist nl = make_buffers_block(5);
   const ScanChains scan(nl, ScanConfig{});

@@ -1,0 +1,163 @@
+// Satellite: the emitted RTL must reconcile gate-for-gate and bit-for-bit
+// with the analytic hardware plans the area model charges. Drift between
+// emit_bist_rtl and plan_functional_bist_hardware / plan_hold_bist_hardware
+// fails loudly here.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bist/functional_bist.hpp"
+#include "bist/hardware_plan.hpp"
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "fault/fault.hpp"
+#include "rtl/emit.hpp"
+#include "rtl_test_util.hpp"
+
+namespace fbt {
+namespace {
+
+std::string join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) out += "\n  " + l;
+  return out;
+}
+
+// Runs the real generator (unconstrained, small segments) so the reconciled
+// plan covers generator-produced sequence shapes, not just hand-made ones.
+struct GeneratedFixture {
+  Netlist netlist;
+  ScanChains scan;
+  FunctionalBistConfig gen_config;
+  FunctionalBistResult plan;
+  Tpg tpg;
+
+  explicit GeneratedFixture(const std::string& name)
+      : netlist(load_benchmark(name)),
+        scan(netlist, rtltest::dividing_scan_config(netlist.num_flops())),
+        gen_config(make_config()),
+        plan(generate()),
+        tpg(netlist, gen_config.tpg) {}
+
+  static FunctionalBistConfig make_config() {
+    FunctionalBistConfig cfg;
+    cfg.tpg.lfsr_stages = 8;
+    cfg.tpg.bias_bits = 2;
+    cfg.segment_length = 40;
+    cfg.max_segment_failures = 2;
+    cfg.max_sequence_failures = 2;
+    cfg.bounded = false;
+    cfg.rng_seed = 21;
+    return cfg;
+  }
+
+  FunctionalBistResult generate() {
+    const TransitionFaultList faults = TransitionFaultList::collapsed(netlist);
+    std::vector<std::uint32_t> detect(faults.size(), 0);
+    FunctionalBistGenerator gen(netlist, gen_config);
+    return gen.run(faults, detect);
+  }
+
+  SessionConfig session_config() const {
+    SessionConfig session;
+    session.misr_stages = 16;
+    session.tpg = gen_config.tpg;
+    return session;
+  }
+};
+
+TEST(Consistency, EmittedInventoryMatchesTheFunctionalPlan) {
+  for (const char* name : {"s27", "s382", "s526"}) {
+    GeneratedFixture fx(name);
+    ASSERT_GT(fx.plan.num_tests, 0u) << name;
+    const EmittedRtl rtl =
+        emit_bist_rtl(fx.netlist, fx.plan, fx.scan, fx.session_config());
+    const BistHardwarePlan hw =
+        plan_functional_bist_hardware(fx.tpg, fx.scan, fx.plan);
+    const std::vector<std::string> drift =
+        reconcile_inventory(rtl.inventory, hw);
+    EXPECT_TRUE(drift.empty()) << name << join(drift);
+  }
+}
+
+TEST(Consistency, EmittedInventoryMatchesTheHoldPlan) {
+  GeneratedFixture fx("s382");
+  ASSERT_GT(fx.plan.num_tests, 0u);
+  ASSERT_GE(fx.netlist.num_flops(), 3u);
+
+  // Two committed hold sets with hand-made runs, the way the selection phase
+  // records them.
+  HoldSelectionResult hold;
+  HoldSetRun first;
+  first.flops = {0, 1};
+  first.result = rtltest::make_plan({{{0x99u, 4}, {0x7u, 2}}});
+  HoldSetRun second;
+  second.flops = {2};
+  second.result = rtltest::make_plan({{{0x42u, 6}}});
+  hold.selected = {first, second};
+  hold.total_held_flops = 3;
+  hold.num_sequences = 2;
+  hold.nseg_max = 2;
+  hold.lmax = 6;
+  hold.num_seeds = 3;
+
+  // The emitted controller spans the concatenated base+hold session.
+  FunctionalBistResult combined = fx.plan;
+  SessionConfig session = fx.session_config();
+  session.hold_period_log2 = 2;
+  session.hold_sets = {first.flops, second.flops};
+  session.hold_set_of_sequence.assign(combined.sequences.size(), kNoHoldSet);
+  for (std::size_t set = 0; set < hold.selected.size(); ++set) {
+    for (const SequenceRecord& seq : hold.selected[set].result.sequences) {
+      combined.sequences.push_back(seq);
+      session.hold_set_of_sequence.push_back(set);
+    }
+    const FunctionalBistResult& run = hold.selected[set].result;
+    combined.num_seeds += run.num_seeds;
+    combined.num_tests += run.num_tests;
+    if (run.lmax > combined.lmax) combined.lmax = run.lmax;
+    if (run.nseg_max > combined.nseg_max) combined.nseg_max = run.nseg_max;
+  }
+
+  const EmittedRtl rtl =
+      emit_bist_rtl(fx.netlist, combined, fx.scan, session);
+  const BistHardwarePlan hw =
+      plan_hold_bist_hardware(fx.tpg, fx.scan, fx.plan, hold);
+  const std::vector<std::string> drift =
+      reconcile_inventory(rtl.inventory, hw, /*allow_wider_sequence_counter=*/true);
+  EXPECT_TRUE(drift.empty()) << join(drift);
+
+  // The plan sizes the shared sequence counter for the wider phase; when the
+  // concatenated session genuinely needs more bits, strict reconciliation
+  // must flag exactly that.
+  if (rtl.inventory.sequence_counter_bits > hw.sequence_counter_bits) {
+    EXPECT_FALSE(reconcile_inventory(rtl.inventory, hw).empty());
+  }
+}
+
+TEST(Consistency, ReconcileFlagsInjectedDrift) {
+  GeneratedFixture fx("s27");
+  const EmittedRtl rtl =
+      emit_bist_rtl(fx.netlist, fx.plan, fx.scan, fx.session_config());
+  const BistHardwarePlan hw =
+      plan_functional_bist_hardware(fx.tpg, fx.scan, fx.plan);
+  ASSERT_TRUE(reconcile_inventory(rtl.inventory, hw).empty());
+
+  RtlInventory widened = rtl.inventory;
+  widened.lfsr_bits += 1;
+  EXPECT_FALSE(reconcile_inventory(widened, hw).empty());
+
+  RtlInventory trimmed = rtl.inventory;
+  trimmed.seed_rom_bits -= 1;
+  EXPECT_FALSE(reconcile_inventory(trimmed, hw).empty());
+
+  // A narrower-than-planned sequence counter is a bug even in the hold case.
+  RtlInventory narrowed = rtl.inventory;
+  narrowed.sequence_counter_bits -= 1;
+  EXPECT_FALSE(
+      reconcile_inventory(narrowed, hw, /*allow_wider_sequence_counter=*/true)
+          .empty());
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,135 @@
+// Structure and precondition tests for emit_bist_rtl.
+#include "rtl/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "rtl/elaborate.hpp"
+#include "rtl_test_util.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+namespace {
+
+struct EmitFixture {
+  Netlist cut;
+  ScanChains scan;
+  SessionConfig session;
+  FunctionalBistResult plan;
+
+  explicit EmitFixture(const std::string& name)
+      : cut(load_benchmark(name)),
+        scan(cut, rtltest::dividing_scan_config(cut.num_flops())),
+        session(rtltest::small_session_config()),
+        plan(rtltest::make_plan({{{0xACE1u, 4}, {0x99u, 2}}, {{0x51u, 2}}})) {}
+};
+
+TEST(Emit, EmitsEveryModuleOnce) {
+  EmitFixture fx("s27");
+  const EmittedRtl rtl = emit_bist_rtl(fx.cut, fx.plan, fx.scan, fx.session);
+  EXPECT_EQ(rtl.top_name, "fbt_bist_top");
+  for (const char* module :
+       {"module fbt_lfsr ", "module fbt_shiftreg ", "module fbt_bias ",
+        "module fbt_misr ", "module fbt_ctrl ", "module s27_bist_wrap ",
+        "module fbt_bist_top ", "module fbt_dff "}) {
+    const std::size_t first = rtl.verilog.find(module);
+    EXPECT_NE(first, std::string::npos) << module;
+    EXPECT_EQ(rtl.verilog.find(module, first + 1), std::string::npos)
+        << module << " defined more than once";
+  }
+}
+
+TEST(Emit, TopIsSelfContained) {
+  // The top module drives everything from the controller: its only input is
+  // the clock, so the elaborated design has no primary inputs at all.
+  EmitFixture fx("s298");
+  const EmittedRtl rtl = emit_bist_rtl(fx.cut, fx.plan, fx.scan, fx.session);
+  const RtlDesign design = elaborate_verilog(rtl.verilog, rtl.top_name);
+  EXPECT_EQ(design.netlist.num_inputs(), 0u);
+  EXPECT_GT(design.netlist.num_outputs(), 0u);
+}
+
+TEST(Emit, ProbeNamesResolveInTheElaboratedDesign) {
+  EmitFixture fx("s382");
+  const EmittedRtl rtl = emit_bist_rtl(fx.cut, fx.plan, fx.scan, fx.session);
+  const RtlDesign design = elaborate_verilog(rtl.verilog, rtl.top_name);
+  for (const std::string& m : rtl.probes.mode) {
+    EXPECT_NE(design.node(m), kNoNode) << m;
+  }
+  EXPECT_NE(design.node(rtl.probes.done), kNoNode);
+  EXPECT_NE(design.node(rtl.probes.capture), kNoNode);
+  ASSERT_EQ(rtl.probes.pi.size(), fx.cut.num_inputs());
+  ASSERT_EQ(rtl.probes.state.size(), fx.cut.num_flops());
+  ASSERT_EQ(rtl.probes.misr.size(), fx.session.misr_stages);
+  for (const std::string& p : rtl.probes.pi) {
+    EXPECT_NE(design.node(p), kNoNode) << p;
+  }
+  for (const std::string& s : rtl.probes.state) {
+    EXPECT_NE(design.node(s), kNoNode) << s;
+  }
+  for (const std::string& s : rtl.probes.misr) {
+    EXPECT_NE(design.node(s), kNoNode) << s;
+  }
+}
+
+TEST(Emit, InventoryCountsTheRtlOnlyMachinery) {
+  EmitFixture fx("s526");
+  const Tpg tpg(fx.cut, fx.session.tpg);
+  const EmittedRtl rtl = emit_bist_rtl(fx.cut, fx.plan, fx.scan, fx.session);
+  const RtlInventory& inv = rtl.inventory;
+  EXPECT_EQ(inv.lfsr_bits, fx.session.tpg.lfsr_stages);
+  EXPECT_EQ(inv.shiftreg_flops, tpg.shift_register_size());
+  EXPECT_EQ(inv.misr_flops, fx.session.misr_stages);
+  EXPECT_EQ(inv.fsm_flops, 7u);
+  EXPECT_EQ(inv.seed_rom_entries, fx.plan.num_seeds);
+  EXPECT_EQ(inv.seed_rom_bits,
+            fx.plan.num_seeds * fx.session.tpg.lfsr_stages);
+  EXPECT_EQ(inv.cut_flops, fx.cut.num_flops());
+  EXPECT_FALSE(inv.with_hold);
+  EXPECT_GT(inv.total_flops,
+            inv.cut_flops + inv.shiftreg_flops + inv.misr_flops);
+  EXPECT_GT(inv.total_gates, inv.cut_gates);
+}
+
+TEST(Emit, RejectsOddSegmentLengths) {
+  EmitFixture fx("s27");
+  const FunctionalBistResult bad = rtltest::make_plan({{{0x5u, 3}}});
+  EXPECT_THROW(emit_bist_rtl(fx.cut, bad, fx.scan, fx.session), Error);
+}
+
+TEST(Emit, RejectsEmptyPlans) {
+  EmitFixture fx("s27");
+  EXPECT_THROW(
+      emit_bist_rtl(fx.cut, FunctionalBistResult{}, fx.scan, fx.session),
+      Error);
+}
+
+TEST(Emit, RejectsChainsThatDoNotDivideTheShiftLength) {
+  // s382 has 21 flops; two chains of 11 and 10 give Lsc = 11, and the
+  // 10-flop chain cannot be restored by an 11-cycle circular shift.
+  const Netlist cut = load_benchmark("s382");
+  ASSERT_EQ(cut.num_flops(), 21u);
+  const ScanChains scan(cut, ScanConfig{2, 10});
+  ASSERT_EQ(scan.num_chains(), 2u);
+  const SessionConfig session = rtltest::small_session_config();
+  const FunctionalBistResult plan = rtltest::make_plan({{{0x5u, 2}}});
+  EXPECT_THROW(emit_bist_rtl(cut, plan, scan, session), Error);
+}
+
+TEST(Emit, RejectsCombinationalCircuits) {
+  Netlist comb("comb_only");
+  const NodeId a = comb.add_input("a");
+  const NodeId b = comb.add_input("b");
+  comb.mark_output(comb.add_gate(GateType::kAnd, "y", {a, b}));
+  comb.finalize();
+  const ScanChains scan(comb, ScanConfig{});
+  const SessionConfig session = rtltest::small_session_config();
+  const FunctionalBistResult plan = rtltest::make_plan({{{0x5u, 2}}});
+  EXPECT_THROW(emit_bist_rtl(comb, plan, scan, session), Error);
+}
+
+}  // namespace
+}  // namespace fbt

@@ -1,0 +1,57 @@
+// Shared helpers for the RTL emission / elaboration / lockstep tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bist/functional_bist.hpp"
+#include "bist/session.hpp"
+#include "netlist/scan.hpp"
+
+namespace fbt::rtltest {
+
+/// Hand-made plan: one inner vector per multi-segment sequence, each entry a
+/// (seed, applied-cycle count) pair. Statistics fields are filled the way the
+/// generator fills them; the tests/TestSet are left empty (the session replays
+/// the sequences from the TPG, not from the recorded tests).
+inline FunctionalBistResult make_plan(
+    const std::vector<std::vector<std::pair<std::uint32_t, std::size_t>>>&
+        seqs) {
+  FunctionalBistResult plan;
+  for (const auto& s : seqs) {
+    SequenceRecord seq;
+    for (const auto& [seed, length] : s) {
+      SegmentRecord seg;
+      seg.seed = seed;
+      seg.length = length;
+      seg.num_tests = length / 2;
+      plan.num_seeds += 1;
+      plan.num_tests += seg.num_tests;
+      if (length > plan.lmax) plan.lmax = length;
+      seq.segments.push_back(seg);
+    }
+    if (seq.segments.size() > plan.nseg_max) {
+      plan.nseg_max = seq.segments.size();
+    }
+    plan.sequences.push_back(std::move(seq));
+  }
+  return plan;
+}
+
+/// Equal-length scan partition: the circular shift restores the state only
+/// when every chain's length divides Lsc (see equal_partition_scan_config).
+inline ScanConfig dividing_scan_config(std::size_t nff) {
+  return equal_partition_scan_config(nff);
+}
+
+/// Small TPG/MISR so the registry-wide sweep stays fast.
+inline SessionConfig small_session_config() {
+  SessionConfig cfg;
+  cfg.misr_stages = 16;
+  cfg.tpg.lfsr_stages = 8;
+  cfg.tpg.bias_bits = 2;
+  return cfg;
+}
+
+}  // namespace fbt::rtltest
