@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "fault/fault_sim.hpp"
+#include "fault/parallel_fault_sim.hpp"
 #include "obs/instrument.hpp"
 #include "sim/seqsim.hpp"
 #include "util/require.hpp"
@@ -122,7 +122,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
   FBT_OBS_PHASE("construct");
 
   FunctionalBistResult result;
-  BroadsideFaultSim fsim(*netlist_);
+  ParallelBroadsideFaultSim fsim(*netlist_, config_.num_threads);
   SeqSim sim(*netlist_);
 
   std::size_t sequence_failures = 0;

@@ -55,6 +55,10 @@ struct FunctionalBistConfig {
   const class TransitionPatternStore* pattern_store = nullptr;
   std::uint64_t rng_seed = 1;
   std::uint32_t detect_limit = 1;  ///< n-detect threshold for "new" faults
+  /// Worker threads for candidate-segment fault grading (0 = hardware
+  /// concurrency). Results are bit-identical for any value; 1 keeps the
+  /// serial reference engine.
+  std::size_t num_threads = 1;
 
   /// State holding (§4.5): when hold_period_log2 = h >= 1, the flops listed
   /// in hold_set keep their values on every transition out of a cycle whose

@@ -2,21 +2,18 @@
 
 #include <algorithm>
 
-#include "fault/fault_sim.hpp"
+#include "fault/parallel_fault_sim.hpp"
 #include "obs/instrument.hpp"
 #include "util/require.hpp"
 
 namespace fbt {
-namespace {
 
-/// Detection matrix transposed to per-test fault lists (only faults each
-/// test detects), which all three passes consume.
-std::vector<std::vector<std::uint32_t>> detected_by_test(
-    const Netlist& netlist, const TestSet& tests,
-    const TransitionFaultList& faults) {
-  BroadsideFaultSim sim(netlist);
+PerTestFaults detected_by_test(const Netlist& netlist, const TestSet& tests,
+                               const TransitionFaultList& faults,
+                               std::size_t num_threads) {
+  ParallelBroadsideFaultSim sim(netlist, num_threads);
   const auto matrix = sim.detection_matrix(tests, faults);
-  std::vector<std::vector<std::uint32_t>> per_test(tests.size());
+  PerTestFaults per_test(tests.size());
   for (std::size_t f = 0; f < faults.size(); ++f) {
     for (std::size_t w = 0; w < matrix[f].size(); ++w) {
       std::uint64_t bits = matrix[f][w];
@@ -31,15 +28,11 @@ std::vector<std::vector<std::uint32_t>> detected_by_test(
   return per_test;
 }
 
-}  // namespace
-
-std::vector<std::size_t> reverse_order_compaction(
-    const Netlist& netlist, const TestSet& tests,
-    const TransitionFaultList& faults) {
-  const auto per_test = detected_by_test(netlist, tests, faults);
-  std::vector<std::uint8_t> covered(faults.size(), 0);
+std::vector<std::size_t> reverse_order_compaction(const PerTestFaults& per_test,
+                                                  std::size_t num_faults) {
+  std::vector<std::uint8_t> covered(num_faults, 0);
   std::vector<std::size_t> kept;
-  for (std::size_t t = tests.size(); t-- > 0;) {
+  for (std::size_t t = per_test.size(); t-- > 0;) {
     bool essential = false;
     for (const std::uint32_t f : per_test[t]) {
       if (!covered[f]) {
@@ -55,35 +48,39 @@ std::vector<std::size_t> reverse_order_compaction(
   return kept;
 }
 
-std::vector<std::size_t> forward_looking_compaction(
+std::vector<std::size_t> reverse_order_compaction(
     const Netlist& netlist, const TestSet& tests,
     const TransitionFaultList& faults) {
-  const auto per_test = detected_by_test(netlist, tests, faults);
+  return reverse_order_compaction(detected_by_test(netlist, tests, faults),
+                                  faults.size());
+}
 
+std::vector<std::size_t> forward_looking_compaction(
+    const PerTestFaults& per_test, std::size_t num_faults) {
   // Earliest detector per fault: a test that is the *first* to detect some
   // fault is essential (no earlier test can replace it, and replacing it
   // with a later one cannot shrink the set below this greedy choice).
   constexpr std::uint32_t kNone = ~0u;
-  std::vector<std::uint32_t> first_detector(faults.size(), kNone);
-  for (std::size_t t = 0; t < tests.size(); ++t) {
+  std::vector<std::uint32_t> first_detector(num_faults, kNone);
+  for (std::size_t t = 0; t < per_test.size(); ++t) {
     for (const std::uint32_t f : per_test[t]) {
       if (first_detector[f] == kNone) {
         first_detector[f] = static_cast<std::uint32_t>(t);
       }
     }
   }
-  std::vector<std::uint8_t> keep(tests.size(), 0);
-  for (std::size_t f = 0; f < faults.size(); ++f) {
+  std::vector<std::uint8_t> keep(per_test.size(), 0);
+  for (std::size_t f = 0; f < num_faults; ++f) {
     if (first_detector[f] != kNone) keep[first_detector[f]] = 1;
   }
   // Reverse sweep with the forward-looking credit: drop kept tests whose
   // faults are all covered by other kept tests.
-  std::vector<std::uint32_t> cover_count(faults.size(), 0);
-  for (std::size_t t = 0; t < tests.size(); ++t) {
+  std::vector<std::uint32_t> cover_count(num_faults, 0);
+  for (std::size_t t = 0; t < per_test.size(); ++t) {
     if (!keep[t]) continue;
     for (const std::uint32_t f : per_test[t]) ++cover_count[f];
   }
-  for (std::size_t t = tests.size(); t-- > 0;) {
+  for (std::size_t t = per_test.size(); t-- > 0;) {
     if (!keep[t]) continue;
     bool droppable = true;
     for (const std::uint32_t f : per_test[t]) {
@@ -97,24 +94,27 @@ std::vector<std::size_t> forward_looking_compaction(
     for (const std::uint32_t f : per_test[t]) --cover_count[f];
   }
   std::vector<std::size_t> kept;
-  for (std::size_t t = 0; t < tests.size(); ++t) {
+  for (std::size_t t = 0; t < per_test.size(); ++t) {
     if (keep[t]) kept.push_back(t);
   }
   return kept;
 }
 
-std::vector<std::size_t> reduce_groups(const Netlist& netlist,
-                                       const TestSet& tests,
-                                       const TransitionFaultList& faults,
+std::vector<std::size_t> forward_looking_compaction(
+    const Netlist& netlist, const TestSet& tests,
+    const TransitionFaultList& faults) {
+  return forward_looking_compaction(detected_by_test(netlist, tests, faults),
+                                    faults.size());
+}
+
+std::vector<std::size_t> reduce_groups(const PerTestFaults& per_test,
+                                       std::size_t num_faults,
                                        const std::vector<std::size_t>& group_of,
                                        std::size_t num_groups) {
-  require(group_of.size() == tests.size(), "reduce_groups",
+  require(group_of.size() == per_test.size(), "reduce_groups",
           "group_of must map every test");
-  FBT_OBS_PHASE("reduce");
-  const auto per_test = detected_by_test(netlist, tests, faults);
-
   std::vector<std::vector<std::uint32_t>> per_group(num_groups);
-  for (std::size_t t = 0; t < tests.size(); ++t) {
+  for (std::size_t t = 0; t < per_test.size(); ++t) {
     require(group_of[t] < num_groups, "reduce_groups", "group id out of range");
     auto& bucket = per_group[group_of[t]];
     bucket.insert(bucket.end(), per_test[t].begin(), per_test[t].end());
@@ -125,7 +125,7 @@ std::vector<std::size_t> reduce_groups(const Netlist& netlist,
   }
 
   // Reverse-order sweep over groups.
-  std::vector<std::uint8_t> covered(faults.size(), 0);
+  std::vector<std::uint8_t> covered(num_faults, 0);
   std::vector<std::size_t> kept;
   for (std::size_t g = num_groups; g-- > 0;) {
     bool essential = false;
@@ -141,6 +141,17 @@ std::vector<std::size_t> reduce_groups(const Netlist& netlist,
   }
   std::sort(kept.begin(), kept.end());
   return kept;
+}
+
+std::vector<std::size_t> reduce_groups(const Netlist& netlist,
+                                       const TestSet& tests,
+                                       const TransitionFaultList& faults,
+                                       const std::vector<std::size_t>& group_of,
+                                       std::size_t num_groups,
+                                       std::size_t num_threads) {
+  FBT_OBS_PHASE("reduce");  // covers the matrix simulation and the sweep
+  return reduce_groups(detected_by_test(netlist, tests, faults, num_threads),
+                       faults.size(), group_of, num_groups);
 }
 
 }  // namespace fbt

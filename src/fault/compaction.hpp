@@ -8,6 +8,13 @@
 //    that detects it; a test is essential if it is the earliest detector of
 //    some fault; remaining faults are then credited to kept tests greedily.
 // Both preserve complete coverage of the original set.
+//
+// Every pass consumes the detection matrix transposed to per-test fault
+// lists. Each entry point exists in two forms: a convenience overload that
+// simulates the matrix itself (optionally across `num_threads` workers, 0 =
+// hardware concurrency), and an overload taking a precomputed PerTestFaults
+// so callers running several passes -- or a flow that already graded the set
+// -- pay the fault simulation once.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +25,30 @@
 
 namespace fbt {
 
+/// per_test[t] lists the indices of the faults test t detects, ascending.
+using PerTestFaults = std::vector<std::vector<std::uint32_t>>;
+
+/// Simulates the full detection matrix (no dropping) and transposes it to
+/// per-test fault lists. `num_threads` > 1 shards the fault list across a
+/// worker pool; the result is bit-identical for any thread count.
+PerTestFaults detected_by_test(const Netlist& netlist, const TestSet& tests,
+                               const TransitionFaultList& faults,
+                               std::size_t num_threads = 1);
+
 /// Indices (into the original set) of the kept tests, ascending.
 std::vector<std::size_t> reverse_order_compaction(
     const Netlist& netlist, const TestSet& tests,
     const TransitionFaultList& faults);
+std::vector<std::size_t> reverse_order_compaction(const PerTestFaults& per_test,
+                                                  std::size_t num_faults);
 
 /// Forward-looking static compaction [89]; usually keeps fewer tests than
 /// the reverse-order pass.
 std::vector<std::size_t> forward_looking_compaction(
     const Netlist& netlist, const TestSet& tests,
     const TransitionFaultList& faults);
+std::vector<std::size_t> forward_looking_compaction(
+    const PerTestFaults& per_test, std::size_t num_faults);
 
 /// Drops whole groups (e.g. per-seed segments): group g may be dropped when
 /// every fault it detects is also detected by a kept group. `group_of[t]`
@@ -36,6 +57,11 @@ std::vector<std::size_t> forward_looking_compaction(
 std::vector<std::size_t> reduce_groups(const Netlist& netlist,
                                        const TestSet& tests,
                                        const TransitionFaultList& faults,
+                                       const std::vector<std::size_t>& group_of,
+                                       std::size_t num_groups,
+                                       std::size_t num_threads = 1);
+std::vector<std::size_t> reduce_groups(const PerTestFaults& per_test,
+                                       std::size_t num_faults,
                                        const std::vector<std::size_t>& group_of,
                                        std::size_t num_groups);
 

@@ -113,30 +113,37 @@ std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
           "detect_limit must be >= 1");
   FBT_OBS_PHASE("grade");
   Timer grade_timer;
+  // Dense index list of the faults still below the detect limit. A fault
+  // that reaches the limit is compacted out, so later blocks touch only
+  // pending faults and an exhausted list ends the walk without rescanning
+  // the full fault list per block.
+  std::vector<std::uint32_t> active;
+  active.reserve(faults.size());
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detect_count[f] < detect_limit) {
+      active.push_back(static_cast<std::uint32_t>(f));
+    }
+  }
   std::size_t newly_complete = 0;
-  for (std::size_t first = 0; first < tests.size(); first += 64) {
+  for (std::size_t first = 0; first < tests.size() && !active.empty();
+       first += 64) {
     const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
-    // Skip blocks early when every fault is already done.
-    bool any_pending = false;
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (detect_count[f] < detect_limit) {
-        any_pending = true;
-        break;
-      }
-    }
-    if (!any_pending) break;
     load_block(tests, first, count);
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (detect_count[f] >= detect_limit) continue;
+    std::size_t live = 0;
+    for (const std::uint32_t f : active) {
       const std::uint64_t mask = fault_mask(faults.fault(f));
-      if (mask == 0) continue;
-      const auto hits = static_cast<std::uint32_t>(__builtin_popcountll(mask));
-      const std::uint32_t before = detect_count[f];
-      detect_count[f] = std::min(detect_limit, before + hits);
-      if (before < detect_limit && detect_count[f] >= detect_limit) {
-        ++newly_complete;
+      if (mask != 0) {
+        const auto hits =
+            static_cast<std::uint32_t>(__builtin_popcountll(mask));
+        detect_count[f] = std::min(detect_limit, detect_count[f] + hits);
+        if (detect_count[f] >= detect_limit) {
+          ++newly_complete;  // dropped: not carried into the next block
+          continue;
+        }
       }
+      active[live++] = f;
     }
+    active.resize(live);
   }
   FBT_OBS_COUNTER_ADD("fault.tests_graded", tests.size());
   FBT_OBS_COUNTER_ADD("fault.faults_dropped", newly_complete);

@@ -1,0 +1,99 @@
+#include "fault/parallel_fault_sim.hpp"
+
+#include <atomic>
+
+#include "obs/instrument.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace fbt {
+
+ParallelBroadsideFaultSim::ParallelBroadsideFaultSim(const Netlist& netlist,
+                                                     std::size_t num_threads)
+    : netlist_(&netlist), pool_(num_threads) {
+  shard_sims_.reserve(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    shard_sims_.push_back(std::make_unique<BroadsideFaultSim>(netlist));
+  }
+}
+
+std::vector<ParallelBroadsideFaultSim::Shard>
+ParallelBroadsideFaultSim::make_shards(std::size_t num_faults) const {
+  const std::size_t shards = pool_.size();
+  std::vector<Shard> out(shards);
+  const std::size_t base = num_faults / shards;
+  const std::size_t extra = num_faults % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out[s] = {begin, begin + len};
+    begin += len;
+  }
+  return out;
+}
+
+std::size_t ParallelBroadsideFaultSim::grade(
+    std::span<const BroadsideTest> tests, const TransitionFaultList& faults,
+    std::span<std::uint32_t> detect_count, std::uint32_t detect_limit) {
+  require(detect_count.size() == faults.size(),
+          "ParallelBroadsideFaultSim::grade",
+          "detect_count size must equal the fault count");
+  if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
+    // Too few faults to amortize the per-shard block replay.
+    return shard_sims_[0]->grade(tests, faults, detect_count, detect_limit);
+  }
+  Timer grade_timer;
+  FBT_OBS_GAUGE_SET("fault.parallel_threads", pool_.size());
+  const std::vector<Shard> shards = make_shards(faults.size());
+  std::atomic<std::size_t> newly_complete{0};
+  pool_.run(shards.size(), [&](std::size_t s) {
+    const Shard& shard = shards[s];
+    if (shard.begin == shard.end) return;
+    const auto& all = faults.faults();
+    std::vector<TransitionFault> sub(
+        all.begin() + static_cast<std::ptrdiff_t>(shard.begin),
+        all.begin() + static_cast<std::ptrdiff_t>(shard.end));
+    const TransitionFaultList shard_faults =
+        TransitionFaultList::from_faults(std::move(sub));
+    // Disjoint subspan per shard: no write contention on detect_count.
+    const std::size_t fresh = shard_sims_[s]->grade(
+        tests, shard_faults,
+        detect_count.subspan(shard.begin, shard.end - shard.begin),
+        detect_limit);
+    newly_complete.fetch_add(fresh, std::memory_order_relaxed);
+    FBT_OBS_COUNTER_ADD("fault.parallel_shards_graded", 1);
+  });
+  FBT_OBS_HIST_RECORD("fault.parallel_grade_duration_ms", grade_timer.ms());
+  return newly_complete.load(std::memory_order_relaxed);
+}
+
+std::vector<std::vector<std::uint64_t>>
+ParallelBroadsideFaultSim::detection_matrix(std::span<const BroadsideTest> tests,
+                                            const TransitionFaultList& faults) {
+  if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
+    return shard_sims_[0]->detection_matrix(tests, faults);
+  }
+  Timer grade_timer;
+  FBT_OBS_GAUGE_SET("fault.parallel_threads", pool_.size());
+  const std::vector<Shard> shards = make_shards(faults.size());
+  std::vector<std::vector<std::uint64_t>> matrix(faults.size());
+  pool_.run(shards.size(), [&](std::size_t s) {
+    const Shard& shard = shards[s];
+    if (shard.begin == shard.end) return;
+    const auto& all = faults.faults();
+    std::vector<TransitionFault> sub(
+        all.begin() + static_cast<std::ptrdiff_t>(shard.begin),
+        all.begin() + static_cast<std::ptrdiff_t>(shard.end));
+    const TransitionFaultList shard_faults =
+        TransitionFaultList::from_faults(std::move(sub));
+    auto rows = shard_sims_[s]->detection_matrix(tests, shard_faults);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      matrix[shard.begin + i] = std::move(rows[i]);
+    }
+    FBT_OBS_COUNTER_ADD("fault.parallel_shards_graded", 1);
+  });
+  FBT_OBS_HIST_RECORD("fault.parallel_grade_duration_ms", grade_timer.ms());
+  return matrix;
+}
+
+}  // namespace fbt

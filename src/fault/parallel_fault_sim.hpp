@@ -1,0 +1,57 @@
+// Parallel broadside transition-fault grading.
+//
+// Shards the fault list into contiguous ranges, one per thread; every worker
+// owns a private BroadsideFaultSim (its own BitSim replica) and replays the
+// same 64-test blocks over its shard only. Because detection of one fault
+// never depends on another fault's counts, merging the per-shard results
+// reproduces the serial engine bit for bit: identical detect_count vectors,
+// identical detection matrices, for any thread count. The serial engine
+// remains the reference; a pool resolved to one thread short-circuits to it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fault/fault_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fbt {
+
+class ParallelBroadsideFaultSim {
+ public:
+  /// `num_threads` = 0 selects hardware_concurrency (ThreadPool's rule).
+  explicit ParallelBroadsideFaultSim(const Netlist& netlist,
+                                     std::size_t num_threads = 0);
+
+  /// Actual worker count (>= 1) after resolving the knob.
+  std::size_t num_threads() const { return pool_.size(); }
+
+  /// Same contract as BroadsideFaultSim::grade, bit-identical results.
+  std::size_t grade(std::span<const BroadsideTest> tests,
+                    const TransitionFaultList& faults,
+                    std::span<std::uint32_t> detect_count,
+                    std::uint32_t detect_limit = 1);
+
+  /// Same contract as BroadsideFaultSim::detection_matrix, bit-identical
+  /// rows.
+  std::vector<std::vector<std::uint64_t>> detection_matrix(
+      std::span<const BroadsideTest> tests, const TransitionFaultList& faults);
+
+ private:
+  struct Shard {
+    std::size_t begin = 0;  ///< first fault index (inclusive)
+    std::size_t end = 0;    ///< last fault index (exclusive)
+  };
+
+  /// Contiguous near-equal split of `num_faults` over the workers; shards
+  /// past the fault count come back empty.
+  std::vector<Shard> make_shards(std::size_t num_faults) const;
+
+  const Netlist* netlist_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<BroadsideFaultSim>> shard_sims_;  // per worker
+};
+
+}  // namespace fbt

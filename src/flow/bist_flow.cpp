@@ -7,6 +7,7 @@
 #include "fault/compaction.hpp"
 #include "obs/instrument.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fbt {
 
@@ -30,6 +31,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   FunctionalBistConfig gen = config.generation;
   gen.swa_bound_percent = cal.peak_percent;
   gen.bounded = !unconstrained;
+  gen.num_threads = config.num_threads;
 
   ScanChains scan(target, config.scan);
   BistExperimentResult result{.target = std::move(target),
@@ -72,8 +74,8 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
     require(group_of.size() == result.run.tests.size(), "run_bist_experiment",
             "internal: test/sequence bookkeeping mismatch");
     const std::vector<std::size_t> kept =
-        reduce_groups(result.target, result.run.tests, result.faults,
-                      group_of, result.run.sequences.size());
+        reduce_groups(result.target, result.run.tests, result.faults, group_of,
+                      result.run.sequences.size(), config.num_threads);
     if (kept.size() < result.run.sequences.size()) {
       FunctionalBistResult reduced;
       reduced.newly_detected = result.run.newly_detected;
@@ -122,6 +124,8 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
     result.rtl = emit_bist_rtl(result.target, result.run, result.scan, session);
   }
 
+  FBT_OBS_GAUGE_SET("flow.num_threads",
+                    ThreadPool::resolve_threads(config.num_threads));
   FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);
   FBT_OBS_GAUGE_SET("flow.fault_coverage_percent",
                     result.fault_coverage_percent);

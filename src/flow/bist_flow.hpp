@@ -30,6 +30,10 @@ struct BistExperimentConfig {
   /// sequences whose tests detect nothing the kept sequences miss
   /// (forward-looking fault simulation over sequence groups).
   bool reduce_sequences = true;
+  /// Worker threads for every fault-grading step of the flow (candidate
+  /// segments and sequence reduction). 0 = hardware concurrency; results are
+  /// bit-identical for any value. Overrides generation.num_threads.
+  std::size_t num_threads = 1;
   /// Emit the on-chip BIST machinery as Verilog after generation. Requires a
   /// scan partition whose chain lengths all divide Lsc -- use
   /// equal_partition_scan_config for `scan` (emit_bist_rtl fails loudly

@@ -1,5 +1,6 @@
 #include "obs/phase.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -30,6 +31,16 @@ struct OpenSpan {
 };
 
 thread_local std::vector<OpenSpan> open_spans;
+
+// Small sequential id per thread, assigned on the thread's first span. The
+// main thread of a typical run gets 1, workers 2..N; ids are never reused
+// within a process.
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next_tid{1};
+  thread_local const std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
 
 void render_tree(const std::vector<PhaseSummary>& nodes, std::size_t depth,
                  std::string& out) {
@@ -65,8 +76,8 @@ void render_events(const PhaseNode& node, bool& first, std::string& out) {
   }
   std::snprintf(buf, sizeof(buf),
                 "\", \"ph\": \"X\", \"ts\": %" PRIu64 ", \"dur\": %" PRIu64
-                ", \"pid\": 1, \"tid\": 1}",
-                node.start_us, node.dur_us);
+                ", \"pid\": 1, \"tid\": %" PRIu32 "}",
+                node.start_us, node.dur_us, node.tid);
   out += buf;
   for (const PhaseNode& child : node.children) {
     render_events(child, first, out);
@@ -156,6 +167,7 @@ std::string PhaseTrace::chrome_trace_json() const {
 PhaseSpan::PhaseSpan(std::string name) {
   OpenSpan span;
   span.node.name = std::move(name);
+  span.node.tid = this_thread_tid();
   span.node.start_us = now_us();
   open_spans.push_back(std::move(span));
 }

@@ -6,6 +6,14 @@
 // Spans nest per thread; a span closed on a thread with no enclosing span
 // becomes a root in the process-wide trace. Hot loops may open many spans
 // with the same name -- the renderers aggregate same-name siblings.
+//
+// Thread safety: the open-span stack is thread_local, the completed-span
+// sink (PhaseTrace::instance()) is mutex-guarded, and every span records the
+// small sequential id of the thread that opened it (assigned on that
+// thread's first span). The Chrome trace emits that id as "tid", so spans
+// completed concurrently by worker threads -- e.g. the parallel fault
+// grader's per-shard "grade" spans -- land on separate tracks instead of
+// interleaving on one.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,7 @@ struct PhaseNode {
   std::string name;
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
+  std::uint32_t tid = 1;  ///< sequential id of the opening thread (from 1)
   std::vector<PhaseNode> children;
 
   double total_ms() const { return static_cast<double>(dur_us) / 1000.0; }

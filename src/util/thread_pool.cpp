@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include "util/require.hpp"
+
+namespace fbt {
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t resolved = resolve_threads(num_threads);
+  workers_.reserve(resolved - 1);
+  for (std::size_t i = 0; i + 1 < resolved; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    drain();
+    lock.lock();
+    if (--busy_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    const std::size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks_) return;
+    try {
+      (*task_)(i);
+    } catch (...) {
+      record_error();
+    }
+  }
+}
+
+void ThreadPool::record_error() {
+  std::lock_guard lock(mutex_);
+  if (!error_) error_ = std::current_exception();
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    // Single-thread pool: no dispatch, no locking.
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    require(task_ == nullptr, "ThreadPool::run", "run() is not reentrant");
+    task_ = &task;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain();  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+    task_ = nullptr;
+    num_tasks_ = 0;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace fbt

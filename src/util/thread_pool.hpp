@@ -1,0 +1,61 @@
+// Fixed-size worker pool for embarrassingly-parallel loops.
+//
+// The pool owns `resolve_threads(n) - 1` worker threads; the thread that
+// calls run() participates as the remaining worker, so a pool resolved to
+// one thread executes everything inline with zero synchronization. run()
+// hands out task indices 0..num_tasks-1 through a shared atomic cursor
+// (tasks must therefore be independent), blocks until every index has been
+// executed, and rethrows the first task exception on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fbt {
+
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count including the caller of run(); always >= 1.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Maps the num_threads knob to an actual thread count: 0 becomes
+  /// hardware_concurrency() (or 1 when that is unknown).
+  static std::size_t resolve_threads(std::size_t requested);
+
+  /// Executes task(i) once for every i in [0, num_tasks), distributed over
+  /// the workers and the calling thread. Blocks until all tasks finish.
+  /// Not reentrant: run() may not be called from inside a task.
+  void run(std::size_t num_tasks,
+           const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  void drain();
+  void record_error();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;  // current job
+  std::size_t num_tasks_ = 0;
+  std::atomic<std::size_t> next_task_{0};
+  std::size_t busy_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace fbt

@@ -46,8 +46,11 @@ TEST_P(CompactionPasses, PreserveCoverage) {
   const TestSet tests = random_tests(nl, 150, GetParam());
   const std::size_t full = coverage_of(nl, tests, faults);
 
-  for (const auto compaction :
-       {reverse_order_compaction, forward_looking_compaction}) {
+  using CompactionFn = std::vector<std::size_t> (*)(
+      const Netlist&, const TestSet&, const TransitionFaultList&);
+  for (const CompactionFn compaction :
+       {static_cast<CompactionFn>(reverse_order_compaction),
+        static_cast<CompactionFn>(forward_looking_compaction)}) {
     const auto kept = compaction(nl, tests, faults);
     EXPECT_LE(kept.size(), tests.size());
     TestSet reduced;
@@ -81,6 +84,38 @@ TEST(Compaction, DropsRedundantDuplicates) {
   for (std::size_t i = 0; i < base; ++i) tests.push_back(tests[i]);
   const auto kept = forward_looking_compaction(nl, tests, faults);
   EXPECT_LE(kept.size(), base);
+}
+
+TEST(Compaction, PrecomputedPerTestListsMatchRecomputation) {
+  // The overloads taking PerTestFaults must agree with the convenience
+  // overloads that simulate the matrix themselves -- one simulation feeding
+  // all passes instead of one per pass.
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 120, 21);
+  const PerTestFaults per_test = detected_by_test(nl, tests, faults);
+
+  EXPECT_EQ(reverse_order_compaction(per_test, faults.size()),
+            reverse_order_compaction(nl, tests, faults));
+  EXPECT_EQ(forward_looking_compaction(per_test, faults.size()),
+            forward_looking_compaction(nl, tests, faults));
+
+  std::vector<std::size_t> group_of(tests.size());
+  for (std::size_t t = 0; t < tests.size(); ++t) group_of[t] = t / 15;
+  EXPECT_EQ(reduce_groups(per_test, faults.size(), group_of, 8),
+            reduce_groups(nl, tests, faults, group_of, 8));
+}
+
+TEST(Compaction, ParallelMatrixGivesIdenticalPasses) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 120, 23);
+  EXPECT_EQ(detected_by_test(nl, tests, faults, 2),
+            detected_by_test(nl, tests, faults, 1));
+  std::vector<std::size_t> group_of(tests.size());
+  for (std::size_t t = 0; t < tests.size(); ++t) group_of[t] = t / 10;
+  EXPECT_EQ(reduce_groups(nl, tests, faults, group_of, 12, 2),
+            reduce_groups(nl, tests, faults, group_of, 12, 1));
 }
 
 TEST(Compaction, GroupReductionKeepsCoverage) {

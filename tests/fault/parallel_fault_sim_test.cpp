@@ -1,0 +1,154 @@
+#include "fault/parallel_fault_sim.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/s27.hpp"
+#include "fault/fault_sim.hpp"
+#include "util/rng.hpp"
+
+namespace fbt {
+namespace {
+
+TestSet random_tests(const Netlist& nl, std::size_t count, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  TestSet tests;
+  for (std::size_t i = 0; i < count; ++i) {
+    BroadsideTest t;
+    for (std::size_t k = 0; k < nl.num_flops(); ++k) {
+      t.scan_state.push_back(rng.chance(1, 2));
+    }
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) {
+      t.v1.push_back(rng.chance(1, 2));
+      t.v2.push_back(rng.chance(1, 2));
+    }
+    tests.push_back(std::move(t));
+  }
+  return tests;
+}
+
+std::vector<std::size_t> thread_counts_under_test() {
+  const std::size_t hw = ThreadPool::resolve_threads(0);
+  std::vector<std::size_t> counts = {1, 2};
+  if (hw != 1 && hw != 2) counts.push_back(hw);
+  return counts;
+}
+
+// Acceptance criterion: bit-identical detect counts and detection matrices
+// for num_threads in {1, 2, hardware_concurrency} on every registry
+// benchmark.
+TEST(ParallelFaultSim, MatchesSerialOnEveryRegistryBenchmark) {
+  for (const BenchmarkSpec& spec : benchmark_registry()) {
+    const Netlist nl = load_benchmark(spec.name);
+    const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+    // Small circuits get several blocks; big ones one block to bound runtime.
+    const std::size_t num_tests = spec.num_gates <= 1000 ? 130 : 64;
+    const TestSet tests = random_tests(nl, num_tests, spec.seed + 1);
+
+    BroadsideFaultSim serial(nl);
+    std::vector<std::uint32_t> serial_counts(faults.size(), 0);
+    const std::size_t serial_new = serial.grade(tests, faults, serial_counts, 2);
+    const auto serial_matrix = serial.detection_matrix(tests, faults);
+
+    for (const std::size_t threads : thread_counts_under_test()) {
+      ParallelBroadsideFaultSim parallel(nl, threads);
+      std::vector<std::uint32_t> counts(faults.size(), 0);
+      const std::size_t fresh = parallel.grade(tests, faults, counts, 2);
+      EXPECT_EQ(fresh, serial_new) << spec.name << " threads=" << threads;
+      EXPECT_EQ(counts, serial_counts) << spec.name << " threads=" << threads;
+      EXPECT_EQ(parallel.detection_matrix(tests, faults), serial_matrix)
+          << spec.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFaultSim, ZeroThreadsResolvesToHardwareConcurrency) {
+  const Netlist nl = make_s27();
+  ParallelBroadsideFaultSim sim(nl, 0);
+  EXPECT_EQ(sim.num_threads(), ThreadPool::resolve_threads(0));
+}
+
+TEST(ParallelFaultSim, CarriesDetectionCreditInAndOut) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 96, 3);
+
+  BroadsideFaultSim serial(nl);
+  std::vector<std::uint32_t> serial_counts(faults.size(), 0);
+  serial.grade(tests, faults, serial_counts, 4);
+  const std::size_t serial_more =
+      serial.grade(tests, faults, serial_counts, 4);
+
+  ParallelBroadsideFaultSim parallel(nl, 2);
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  parallel.grade(tests, faults, counts, 4);
+  EXPECT_EQ(parallel.grade(tests, faults, counts, 4), serial_more);
+  EXPECT_EQ(counts, serial_counts);
+}
+
+class GradeEdgeCases : public ::testing::TestWithParam<std::size_t> {};
+
+// Block-boundary test counts: 1, 63, 64, 65 tests (and a 3-block set).
+TEST_P(GradeEdgeCases, SerialAndParallelAgreeAtBlockBoundaries) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, GetParam(), 11);
+
+  for (const std::uint32_t limit : {1u, 3u}) {
+    BroadsideFaultSim serial(nl);
+    std::vector<std::uint32_t> serial_counts(faults.size(), 0);
+    const std::size_t serial_new =
+        serial.grade(tests, faults, serial_counts, limit);
+
+    ParallelBroadsideFaultSim parallel(nl, 2);
+    std::vector<std::uint32_t> counts(faults.size(), 0);
+    EXPECT_EQ(parallel.grade(tests, faults, counts, limit), serial_new);
+    EXPECT_EQ(counts, serial_counts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, GradeEdgeCases,
+                         ::testing::Values(1u, 63u, 64u, 65u, 130u));
+
+TEST(GradeEdgeCases, AllFaultsDroppedEarlySkipsRemainingBlocks) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  // Saturate every fault up front: grade must return 0, change nothing, and
+  // load no blocks (the active list starts empty).
+  const TestSet tests = random_tests(nl, 256, 13);
+  std::vector<std::uint32_t> counts(faults.size(), 1);
+  const std::vector<std::uint32_t> before = counts;
+
+  BroadsideFaultSim serial(nl);
+  EXPECT_EQ(serial.grade(tests, faults, counts, 1), 0u);
+  EXPECT_EQ(counts, before);
+
+  ParallelBroadsideFaultSim parallel(nl, 2);
+  EXPECT_EQ(parallel.grade(tests, faults, counts, 1), 0u);
+  EXPECT_EQ(counts, before);
+}
+
+TEST(GradeEdgeCases, DroppedFaultsStopAccumulatingMidSet) {
+  // detect_limit == 1: every fault detected by an early block must keep
+  // exactly count 1 no matter how many later tests also detect it.
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  TestSet tests = random_tests(nl, 64, 17);
+  const std::size_t base = tests.size();
+  for (std::size_t i = 0; i < base; ++i) tests.push_back(tests[i]);  // repeat
+
+  BroadsideFaultSim serial(nl);
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  serial.grade(tests, faults, counts, 1);
+  for (const std::uint32_t c : counts) EXPECT_LE(c, 1u);
+
+  ParallelBroadsideFaultSim parallel(nl, 2);
+  std::vector<std::uint32_t> pcounts(faults.size(), 0);
+  parallel.grade(tests, faults, pcounts, 1);
+  EXPECT_EQ(pcounts, counts);
+}
+
+}  // namespace
+}  // namespace fbt

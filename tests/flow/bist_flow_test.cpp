@@ -74,6 +74,32 @@ TEST(BistFlow, SequenceReductionPreservesCoverage) {
   EXPECT_EQ(covered, reduced.detected);
 }
 
+TEST(BistFlow, ParallelGradingReproducesTheSerialFlowExactly) {
+  // num_threads only shards the fault grading; every committed segment,
+  // every detect count, and the reduced sequence set must match the serial
+  // flow bit for bit.
+  BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  cfg.num_threads = 1;
+  const BistExperimentResult serial = run_bist_experiment(cfg);
+  cfg.num_threads = 2;
+  const BistExperimentResult parallel = run_bist_experiment(cfg);
+
+  EXPECT_EQ(parallel.detect_count, serial.detect_count);
+  EXPECT_EQ(parallel.detected, serial.detected);
+  EXPECT_EQ(parallel.run.num_seeds, serial.run.num_seeds);
+  EXPECT_EQ(parallel.run.num_tests, serial.run.num_tests);
+  ASSERT_EQ(parallel.run.sequences.size(), serial.run.sequences.size());
+  for (std::size_t s = 0; s < serial.run.sequences.size(); ++s) {
+    const auto& ps = parallel.run.sequences[s].segments;
+    const auto& ss = serial.run.sequences[s].segments;
+    ASSERT_EQ(ps.size(), ss.size());
+    for (std::size_t i = 0; i < ss.size(); ++i) {
+      EXPECT_EQ(ps[i].seed, ss[i].seed);
+      EXPECT_EQ(ps[i].length, ss[i].length);
+    }
+  }
+}
+
 TEST(BistFlow, EmitsRtlThatTracksTheGeneratedPlan) {
   BistExperimentConfig cfg = small_experiment("s298", "buffers");
   cfg.generation.tpg.lfsr_stages = 8;

@@ -1,7 +1,9 @@
 #include "obs/phase.hpp"
 
 #include <chrono>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +93,53 @@ TEST(PhaseTrace, TreeStringShowsNestingAndAggregation) {
   const std::string tree = trace.tree_string();
   EXPECT_NE(tree.find("construct"), std::string::npos);
   EXPECT_NE(tree.find("  grade x2"), std::string::npos);
+}
+
+TEST(PhaseTrace, ConcurrentSpansFromWorkerThreadsDoNotInterleave) {
+  // Regression for parallel fault grading: several threads completing spans
+  // at once must neither corrupt the shared sink nor share a Chrome-trace
+  // track. Each worker's roots carry that worker's thread id, nesting stays
+  // per-thread, and every span arrives exactly once.
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        PhaseSpan outer("worker_outer");
+        PhaseSpan inner("worker_inner");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const std::vector<PhaseNode> roots = trace.roots();
+  ASSERT_EQ(roots.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  std::map<std::uint32_t, int> roots_per_tid;
+  for (const PhaseNode& root : roots) {
+    EXPECT_EQ(root.name, "worker_outer");
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].name, "worker_inner");
+    // A child opened on the same thread carries the same tid and never
+    // leaks into another thread's root.
+    EXPECT_EQ(root.children[0].tid, root.tid);
+    ++roots_per_tid[root.tid];
+  }
+  ASSERT_EQ(roots_per_tid.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, count] : roots_per_tid) {
+    EXPECT_EQ(count, kSpansPerThread) << "tid " << tid;
+  }
+
+  // The Chrome trace carries the per-thread track ids.
+  const std::string json = trace.chrome_trace_json();
+  for (const auto& [tid, count] : roots_per_tid) {
+    EXPECT_NE(json.find("\"tid\": " + std::to_string(tid)),
+              std::string::npos);
+  }
+  trace.clear();
 }
 
 TEST(PhaseTrace, ChromeTraceJsonListsEveryEvent) {
