@@ -1,0 +1,219 @@
+// Scalar vs speculative packed candidate-seed evaluation throughput.
+//
+// The segment construction loop's dominant rejected-seed cost is the
+// sequential simulation of candidate trajectories that end up discarded
+// (dissertation §4.4: R consecutive failures per reseed attempt). This bench
+// evaluates the same seed batch through the scalar reference loop
+// (FunctionalBistGenerator::evaluate_candidate) and through the 64-lane
+// packed engine (PackedCandidateEngine), verifying candidate-for-candidate
+// identity, then compares full end-to-end construction runs at
+// speculation_lanes=1 vs 64. Writes BENCH_seed_search.json.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bist/functional_bist.hpp"
+#include "bist/packed_candidates.hpp"
+#include "bist/tpg.hpp"
+#include "circuits/registry.hpp"
+#include "fault/fault.hpp"
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "sim/seqsim.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+bool same_candidate(const fbt::CandidateSegment& a,
+                    const fbt::CandidateSegment& b) {
+  if (a.usable_cycles != b.usable_cycles) return false;
+  if (a.peak_swa != b.peak_swa) return false;
+  if (a.tests.size() != b.tests.size()) return false;
+  for (std::size_t t = 0; t < a.tests.size(); ++t) {
+    if (a.tests[t].scan_state != b.tests[t].scan_state) return false;
+    if (a.tests[t].v1 != b.tests[t].v1) return false;
+    if (a.tests[t].v2 != b.tests[t].v2) return false;
+  }
+  return true;
+}
+
+struct ThroughputResult {
+  double scalar_ms = 0.0;
+  double packed_ms = 0.0;
+  bool identical = true;
+  double speedup() const {
+    return packed_ms > 0 ? scalar_ms / packed_ms : 0.0;
+  }
+};
+
+/// Evaluates `seeds` from the reset state through both paths, best of
+/// `repeats`, and verifies per-candidate identity once.
+ThroughputResult measure_throughput(const fbt::Netlist& nl,
+                                    const fbt::FunctionalBistConfig& cfg,
+                                    const std::vector<std::uint32_t>& seeds,
+                                    std::size_t repeats) {
+  ThroughputResult out;
+  fbt::FunctionalBistGenerator gen(nl, [&] {
+    fbt::FunctionalBistConfig c = cfg;
+    c.speculation_lanes = 1;  // scalar reference path
+    return c;
+  }());
+  fbt::SeqSim sim(nl);
+  sim.load_reset_state();
+  const fbt::SeqSim::Snapshot start = sim.snapshot();
+
+  std::vector<fbt::CandidateSegment> scalar_out;
+  out.scalar_ms = 1e300;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::vector<fbt::CandidateSegment> batch;
+    batch.reserve(seeds.size());
+    fbt::Timer t;
+    for (const std::uint32_t seed : seeds) {
+      batch.push_back(gen.evaluate_candidate(sim, seed));
+      sim.restore(start);
+    }
+    out.scalar_ms = std::min(out.scalar_ms, t.ms());
+    scalar_out = std::move(batch);
+  }
+
+  const fbt::Tpg tpg(nl, cfg.tpg);
+  fbt::PackedCandidateEngine engine(nl, tpg, cfg,
+                                    fbt::PackedSeqSim::kLanes);
+  std::vector<fbt::CandidateSegment> packed_out;
+  out.packed_ms = 1e300;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    std::vector<fbt::CandidateSegment> batch;
+    batch.reserve(seeds.size());
+    fbt::Timer t;
+    for (std::size_t b = 0; b < seeds.size(); b += engine.lanes()) {
+      const std::size_t n = std::min(engine.lanes(), seeds.size() - b);
+      engine.speculate(sim, {seeds.data() + b, n});
+      for (std::size_t k = 0; k < n; ++k) {
+        batch.push_back(engine.take_pending());
+      }
+    }
+    out.packed_ms = std::min(out.packed_ms, t.ms());
+    packed_out = std::move(batch);
+  }
+
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    if (!same_candidate(scalar_out[i], packed_out[i])) {
+      out.identical = false;
+      std::printf("[bench_seed_search] MISMATCH at seed index %zu\n", i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fbt::Cli cli(argc, argv);
+  // des_perf is the largest registry circuit (4800 gates, 1200 flops).
+  const std::string target_name = cli.get("target", "des_perf");
+  const auto num_seeds = static_cast<std::size_t>(cli.get_int("seeds", 128));
+  const auto length = static_cast<std::size_t>(cli.get_int("length", 256));
+  const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
+
+  fbt::Timer total;
+  const fbt::Netlist nl = fbt::load_benchmark(target_name);
+  std::printf("[bench_seed_search] target=%s gates=%zu seeds=%zu L=%zu\n",
+              target_name.c_str(), nl.num_gates(), num_seeds, length);
+
+  fbt::Pcg32 rng(0x5eed5eedULL, 42);
+  std::vector<std::uint32_t> seeds(num_seeds);
+  for (auto& s : seeds) s = rng.next() | 1u;
+
+  fbt::FunctionalBistConfig base;
+  base.segment_length = length;
+  base.rng_seed = 7;
+
+  // Scenario 1: rejected-candidate evaluation. A tight SWA bound makes
+  // (nearly) every candidate violate and be trimmed -- the cost profile of
+  // the R consecutive failures the construction loop pays per accepted
+  // segment.
+  fbt::FunctionalBistConfig rejected = base;
+  rejected.bounded = true;
+  rejected.swa_bound_percent = 15.0;
+  const ThroughputResult rej =
+      measure_throughput(nl, rejected, seeds, repeats);
+
+  // Scenario 2: full-length evaluation (no bound): every lane simulates all
+  // L cycles, the packed engine's steady-state throughput.
+  fbt::FunctionalBistConfig full = base;
+  full.bounded = false;
+  const ThroughputResult fl = measure_throughput(nl, full, seeds, repeats);
+
+  // Scenario 3: end-to-end construction, speculation off vs on.
+  const fbt::TransitionFaultList faults =
+      fbt::TransitionFaultList::collapsed(nl);
+  fbt::FunctionalBistConfig e2e = base;
+  e2e.bounded = true;
+  e2e.swa_bound_percent = 35.0;
+  e2e.max_segment_failures = 3;
+  e2e.max_sequence_failures = 2;
+  double run_ms[2] = {0.0, 0.0};
+  fbt::FunctionalBistResult run_out[2];
+  std::vector<std::uint32_t> run_det[2];
+  const std::size_t widths[2] = {1, 64};
+  for (int w = 0; w < 2; ++w) {
+    fbt::FunctionalBistConfig c = e2e;
+    c.speculation_lanes = widths[w];
+    fbt::FunctionalBistGenerator gen(nl, c);
+    run_det[w].assign(faults.size(), 0);
+    fbt::Timer t;
+    run_out[w] = gen.run(faults, run_det[w]);
+    run_ms[w] = t.ms();
+  }
+  const bool run_identical =
+      run_out[0].num_seeds == run_out[1].num_seeds &&
+      run_out[0].num_tests == run_out[1].num_tests &&
+      run_out[0].peak_swa == run_out[1].peak_swa &&
+      run_det[0] == run_det[1];
+  const double run_speedup = run_ms[1] > 0 ? run_ms[0] / run_ms[1] : 0.0;
+
+  fbt::Table table("Candidate-seed search (" + target_name + ", " +
+                   std::to_string(num_seeds) + " seeds, L=" +
+                   std::to_string(length) + ")");
+  table.set_header({"scenario", "scalar ms", "packed ms", "speedup",
+                    "identical"});
+  table.add_row({"rejected (tight bound)", fbt::Table::num(rej.scalar_ms, 2),
+                 fbt::Table::num(rej.packed_ms, 2),
+                 fbt::Table::num(rej.speedup(), 2),
+                 rej.identical ? "yes" : "NO"});
+  table.add_row({"full-length (no bound)", fbt::Table::num(fl.scalar_ms, 2),
+                 fbt::Table::num(fl.packed_ms, 2),
+                 fbt::Table::num(fl.speedup(), 2),
+                 fl.identical ? "yes" : "NO"});
+  table.add_row({"end-to-end construct", fbt::Table::num(run_ms[0], 2),
+                 fbt::Table::num(run_ms[1], 2),
+                 fbt::Table::num(run_speedup, 2),
+                 run_identical ? "yes" : "NO"});
+  table.print();
+
+  FBT_OBS_GAUGE_SET("bist.seed_search_rejected_speedup", rej.speedup());
+  FBT_OBS_GAUGE_SET("bist.seed_search_full_speedup", fl.speedup());
+  FBT_OBS_GAUGE_SET("bist.seed_search_e2e_speedup", run_speedup);
+  FBT_OBS_GAUGE_SET("bist.seed_search_scalar_ms", rej.scalar_ms);
+  FBT_OBS_GAUGE_SET("bist.seed_search_packed_ms", rej.packed_ms);
+
+  const bool all_identical = rej.identical && fl.identical && run_identical;
+  std::printf("[bench_seed_search] identical=%s done in %s\n",
+              all_identical ? "yes" : "NO", total.pretty().c_str());
+
+  fbt::obs::write_bench_report(
+      "seed_search",
+      {{"target", target_name},
+       {"seeds", std::to_string(num_seeds)},
+       {"length", std::to_string(length)},
+       {"repeats", std::to_string(repeats)},
+       {"rejected_speedup", fbt::Table::num(rej.speedup(), 2)},
+       {"full_speedup", fbt::Table::num(fl.speedup(), 2)},
+       {"e2e_speedup", fbt::Table::num(run_speedup, 2)},
+       {"identical", all_identical ? "yes" : "no"}});
+  return all_identical ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bist/packed_candidates.hpp"
 #include "fault/parallel_fault_sim.hpp"
 #include "obs/instrument.hpp"
 #include "sim/seqsim.hpp"
@@ -19,6 +20,8 @@ FunctionalBistGenerator::FunctionalBistGenerator(
           "FunctionalBistGenerator", "segment length L must be even and >= 2");
   require(config.max_segment_failures >= 1 && config.max_sequence_failures >= 1,
           "FunctionalBistGenerator", "R and Q must be >= 1");
+  require(config.speculation_lanes >= 1, "FunctionalBistGenerator",
+          "speculation_lanes (W) must be >= 1");
   if (!config.hold_set.empty()) {
     require(config.hold_period_log2 >= 1, "FunctionalBistGenerator",
             "hold_period_log2 (h) must be >= 1 when a hold set is given");
@@ -29,42 +32,46 @@ FunctionalBistGenerator::FunctionalBistGenerator(
       hold_mask_[flop] = 1;
     }
   }
+  if (config.speculation_lanes >= 2 &&
+      PackedCandidateEngine::supports(config)) {
+    engine_ = std::make_unique<PackedCandidateEngine>(
+        netlist, tpg_, config, config.speculation_lanes);
+  }
+  vec_scratch_.resize(netlist.num_inputs());
 }
 
-FunctionalBistGenerator::CandidateSegment
-FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
+FunctionalBistGenerator::~FunctionalBistGenerator() = default;
+
+CandidateSegment FunctionalBistGenerator::evaluate_candidate(
+    SeqSim& sim, std::uint32_t seed) {
   const std::size_t L = config_.segment_length;
   const bool holding = !hold_mask_.empty();
   const std::size_t hold_period =
       holding ? (std::size_t{1} << config_.hold_period_log2) : 0;
 
-  // Single pass with rolling snapshots: simulate up to L cycles, extracting
+  // Single pass with a rolling snapshot: simulate up to L cycles, extracting
   // tests as we go. SWA(c) is the activity of the transition *into*
   // within-segment cycle c; a violation at cycle c means only p(0..c-1) is
   // usable, trimmed to the last even length so the segment ends on a test
-  // boundary (§4.4). The trim point is at most two cycles back, so keeping
-  // snapshots at the last two even-cycle boundaries suffices to rewind.
+  // boundary (§4.4). The trim point (c rounded down to even) is always the
+  // last even-cycle boundary, so one snapshot there suffices to rewind.
   tpg_.reseed(seed);
   CandidateSegment result;
-  std::vector<double> swa_trace;   // per within-segment cycle
-  swa_trace.reserve(L);
-  SeqSim::Snapshot even_snap = sim.snapshot();  // state at last even cycle
-  SeqSim::Snapshot prev_even_snap = even_snap;
-  std::vector<std::uint8_t> launch_state;  // s(k) of the pending test
-  std::vector<std::uint8_t> mid_state;     // s(k+1), possibly held
+  swa_trace_.clear();  // per within-segment cycle
+  swa_trace_.reserve(L);
+  sim.snapshot_into(even_snap_);  // state at last even cycle
   std::size_t usable = L;
 
   for (std::size_t c = 0; c < L; ++c) {
     const bool even = (c % 2 == 0);
     if (even) {
-      prev_even_snap = std::move(even_snap);
-      even_snap = sim.snapshot();
-      launch_state = sim.state();
+      sim.snapshot_into(even_snap_);
+      launch_state_ = sim.state();  // s(k) of the pending test
     }
-    std::vector<std::uint8_t> vec = tpg_.next_vector();
+    tpg_.next_vector_into(vec_scratch_);
     std::span<const std::uint8_t> held;
     if (holding && c % hold_period == 0) held = hold_mask_;
-    const SeqStep step = sim.step(vec, held);
+    const SeqStep step = sim.step(vec_scratch_, held);
     bool violation = config_.bounded && step.toggled_lines > 0 &&
                      step.switching_percent > config_.swa_bound_percent;
     if (!violation && config_.bounded && config_.pattern_store != nullptr &&
@@ -78,19 +85,19 @@ FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
       FBT_OBS_COUNTER_ADD("bist.swa_violations", 1);
       usable = c & ~std::size_t{1};  // j = c-1, rounded down to even
       // Rewind to the end of the usable prefix and drop trimmed tests.
-      sim.restore(even ? even_snap : prev_even_snap);
+      sim.restore(even_snap_);
       break;
     }
-    swa_trace.push_back(step.switching_percent);
+    swa_trace_.push_back(step.switching_percent);
     if (even) {
-      mid_state = sim.state();  // s(k+1): after the (possibly held) update
-      pending_v1_ = std::move(vec);
+      mid_state_ = sim.state();  // s(k+1): after the (possibly held) update
+      pending_v1_ = vec_scratch_;
     } else {
       BroadsideTest test;
-      test.scan_state = launch_state;
+      test.scan_state = launch_state_;
       test.v1 = std::move(pending_v1_);
-      test.v2 = std::move(vec);
-      if (holding) test.state2_override = mid_state;
+      test.v2 = vec_scratch_;
+      if (holding) test.state2_override = mid_state_;
       result.tests.push_back(std::move(test));
     }
   }
@@ -108,10 +115,19 @@ FunctionalBistGenerator::build_segment(SeqSim& sim, std::uint32_t seed) {
   FBT_OBS_COUNTER_ADD("bist.tests_extracted", result.tests.size());
   // Applied cycles are 0 .. usable-1; the settling of cycle `usable` happens
   // under the next segment's first vector and is measured there.
-  for (std::size_t c = 0; c < std::min(usable, swa_trace.size()); ++c) {
-    result.peak_swa = std::max(result.peak_swa, swa_trace[c]);
+  for (std::size_t c = 0; c < std::min(usable, swa_trace_.size()); ++c) {
+    result.peak_swa = std::max(result.peak_swa, swa_trace_[c]);
   }
   return result;
+}
+
+void FunctionalBistGenerator::advance_segment(SeqSim& sim, std::uint32_t seed,
+                                              std::size_t cycles) {
+  tpg_.reseed(seed);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    tpg_.next_vector_into(vec_scratch_);
+    sim.step(vec_scratch_);
+  }
 }
 
 FunctionalBistResult FunctionalBistGenerator::run(
@@ -137,9 +153,52 @@ FunctionalBistResult FunctionalBistGenerator::run(
     std::vector<std::uint32_t> committed = detect_count;
 
     while (segment_failures < config_.max_segment_failures) {
-      const auto seed = static_cast<std::uint32_t>(rng_.next() | 1u);
-      const SeqSim::Snapshot before = sim.snapshot();
-      CandidateSegment candidate = build_segment(sim, seed);
+      std::uint32_t seed = 0;
+      CandidateSegment candidate;
+      bool took_from_batch = false;
+      if (engine_ != nullptr && engine_->pending_matches(sim)) {
+        // Walk the current speculated batch strictly in seed order. Failed
+        // candidates leave the simulator untouched, so the remaining lanes
+        // stay valid; any state change (acceptance, or a sequence restart
+        // from a different state) makes pending_matches reject the batch.
+        seed = engine_->pending_seed();
+        require(!seed_queue_.empty() && seed_queue_.front() == seed,
+                "FunctionalBistGenerator::run",
+                "internal: speculation batch out of sync with the seed queue");
+        seed_queue_.erase(seed_queue_.begin());
+        candidate = engine_->take_pending();
+        took_from_batch = true;
+      } else if (engine_ != nullptr && segment_failures > 0) {
+        // A failure just restored this exact state, so more consecutive
+        // failures are likely: evaluate a whole batch of pre-drawn seeds in
+        // one packed pass. (A packed pass costs about the same regardless of
+        // how many lanes end up consumed, so speculating right after an
+        // acceptance -- when the next candidate usually succeeds -- would
+        // mostly waste the batch; the first attempt stays scalar instead.)
+        while (seed_queue_.size() < engine_->lanes()) {
+          seed_queue_.push_back(static_cast<std::uint32_t>(rng_.next() | 1u));
+        }
+        engine_->speculate(sim, seed_queue_);
+        seed = engine_->pending_seed();
+        seed_queue_.erase(seed_queue_.begin());
+        candidate = engine_->take_pending();
+        took_from_batch = true;
+      } else {
+        // Scalar reference evaluation. With the engine active the seeds still
+        // come from the shared pre-draw queue so the stream order is
+        // identical whichever path evaluates a given candidate.
+        if (engine_ != nullptr) {
+          if (seed_queue_.empty()) {
+            seed_queue_.push_back(static_cast<std::uint32_t>(rng_.next() | 1u));
+          }
+          seed = seed_queue_.front();
+          seed_queue_.erase(seed_queue_.begin());
+        } else {
+          seed = static_cast<std::uint32_t>(rng_.next() | 1u);
+        }
+        sim.snapshot_into(before_snap_);
+        candidate = evaluate_candidate(sim, seed);
+      }
       bool accepted = false;
       if (!candidate.tests.empty()) {
         std::vector<std::uint32_t> trial = committed;
@@ -164,8 +223,19 @@ FunctionalBistResult FunctionalBistGenerator::run(
       if (accepted) {
         FBT_OBS_COUNTER_ADD("bist.segments_accepted", 1);
         segment_failures = 0;
+        if (took_from_batch) {
+          // Position the scalar simulator at the end of the accepted prefix;
+          // the untried speculated lanes are stale now (the trajectory
+          // continues from a new state) and are discarded.
+          advance_segment(sim, seed, candidate.usable_cycles);
+        }
+        // After a scalar evaluation the simulator already sits at the end of
+        // the usable prefix; any stale batch is dead either way.
+        if (engine_ != nullptr) engine_->invalidate();
       } else {
-        sim.restore(before);
+        // A batch candidate never touched the simulator; a scalar evaluation
+        // left it at the end of the rejected prefix and must be rewound.
+        if (!took_from_batch) sim.restore(before_snap_);
         ++segment_failures;
       }
     }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "fault/broadside_test.hpp"
 #include "fault/fault.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/seqsim.hpp"
 #include "util/rng.hpp"
 
 namespace fbt {
@@ -59,12 +61,29 @@ struct FunctionalBistConfig {
   /// concurrency). Results are bit-identical for any value; 1 keeps the
   /// serial reference engine.
   std::size_t num_threads = 1;
+  /// Speculation width W of the candidate-seed search: the packed engine
+  /// pre-draws W seeds and evaluates all W candidate trajectories in one
+  /// bit-parallel pass (clamped to 64; lanes are walked strictly in seed
+  /// order, so results are bit-identical to the scalar search for any value).
+  /// 1 keeps the scalar reference loop; state-holding and pattern-store
+  /// configurations fall back to scalar automatically.
+  std::size_t speculation_lanes = 64;
 
   /// State holding (§4.5): when hold_period_log2 = h >= 1, the flops listed
   /// in hold_set keep their values on every transition out of a cycle whose
   /// within-segment index is divisible by 2^h. Empty hold_set disables it.
   unsigned hold_period_log2 = 0;
   std::vector<std::size_t> hold_set;
+};
+
+/// One evaluated candidate segment: the usable (SWA-clean, even-length)
+/// prefix length, its extracted broadside tests, and the peak SWA over the
+/// prefix. Produced by the scalar reference loop and, bit-identically, by the
+/// packed speculation engine.
+struct CandidateSegment {
+  std::size_t usable_cycles = 0;
+  TestSet tests;
+  double peak_swa = 0.0;
 };
 
 struct FunctionalBistResult {
@@ -78,12 +97,19 @@ struct FunctionalBistResult {
   std::size_t newly_detected = 0;
 };
 
+class PackedCandidateEngine;
+
 class FunctionalBistGenerator {
  public:
   FunctionalBistGenerator(const Netlist& netlist,
                           const FunctionalBistConfig& config);
+  ~FunctionalBistGenerator();
 
   const Tpg& tpg() const { return tpg_; }
+
+  /// Whether the packed speculation engine is active (speculation_lanes >= 2
+  /// and neither state holding nor a pattern store forces the scalar path).
+  bool speculating() const { return engine_ != nullptr; }
 
   /// Runs the construction procedure. `detect_count` (one entry per fault in
   /// `faults`) carries detection credit in and out: faults already at the
@@ -92,24 +118,35 @@ class FunctionalBistGenerator {
   FunctionalBistResult run(const TransitionFaultList& faults,
                            std::vector<std::uint32_t>& detect_count);
 
- private:
-  struct CandidateSegment {
-    std::size_t usable_cycles = 0;
-    TestSet tests;
-    double peak_swa = 0.0;
-  };
+  /// Scalar reference evaluation of one candidate segment from the
+  /// simulator's current state; the simulator is left positioned at the end
+  /// of the usable prefix. Public for the packed engine's equivalence tests
+  /// and the seed-search benchmark.
+  CandidateSegment evaluate_candidate(class SeqSim& sim, std::uint32_t seed);
 
-  /// Simulates one candidate segment from the simulator's current state and
-  /// returns the tests of its usable (SWA-clean, even-length) prefix. The
-  /// simulator is left positioned at the end of the usable prefix.
-  CandidateSegment build_segment(class SeqSim& sim, std::uint32_t seed);
+ private:
+  /// Replays an accepted speculated segment on the scalar simulator to
+  /// position it at the end of the usable prefix (no bound checks: the
+  /// packed pass already proved the prefix clean).
+  void advance_segment(class SeqSim& sim, std::uint32_t seed,
+                       std::size_t cycles);
 
   const Netlist* netlist_;
   FunctionalBistConfig config_;
   Tpg tpg_;
   Pcg32 rng_;
   std::vector<std::uint8_t> hold_mask_;  ///< per flop; empty when no holding
-  std::vector<std::uint8_t> pending_v1_;  ///< scratch: v1 of the open test
+  std::unique_ptr<PackedCandidateEngine> engine_;  ///< null => scalar search
+  std::vector<std::uint32_t> seed_queue_;  ///< pre-drawn seeds, front = next
+
+  // Scratch reused across candidate evaluations (heap-churn control).
+  std::vector<std::uint8_t> pending_v1_;  ///< v1 of the open test
+  std::vector<std::uint8_t> vec_scratch_;
+  std::vector<std::uint8_t> launch_state_;
+  std::vector<std::uint8_t> mid_state_;
+  std::vector<double> swa_trace_;
+  SeqSim::Snapshot even_snap_;    ///< rolling even-boundary snapshot pool
+  SeqSim::Snapshot before_snap_;  ///< pre-candidate snapshot pool
 };
 
 }  // namespace fbt

@@ -1,0 +1,171 @@
+#include "bist/packed_candidates.hpp"
+
+#include <algorithm>
+
+#include "obs/instrument.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+namespace {
+
+/// SWA(i) as a percentage of circuit lines -- textually mirrors
+/// SeqSim::step so the packed and scalar paths compare identical doubles
+/// against the bound.
+inline double swa_percent(std::size_t toggled, std::size_t lines) {
+  return lines == 0 ? 0.0
+                    : 100.0 * toggled / static_cast<double>(lines);
+}
+
+}  // namespace
+
+PackedCandidateEngine::PackedCandidateEngine(const Netlist& netlist,
+                                             const Tpg& tpg,
+                                             const FunctionalBistConfig& config,
+                                             std::size_t lanes)
+    : netlist_(&netlist),
+      config_(config),
+      packed_tpg_(tpg),
+      packed_sim_(netlist),
+      lanes_(std::clamp<std::size_t>(lanes, 1, PackedSeqSim::kLanes)) {
+  require(supports(config), "PackedCandidateEngine",
+          "config requires the scalar path (state holding or pattern store)");
+  const std::size_t L = config.segment_length;
+  pi_words_.resize(L * netlist.num_inputs());
+  launch_words_.resize((L / 2) * netlist.num_flops());
+  toggles_.resize(L * PackedSeqSim::kLanes);
+}
+
+bool PackedCandidateEngine::supports(const FunctionalBistConfig& config) {
+  // State holding changes the flop update per cycle; the pattern-store bound
+  // needs the full per-lane line values of every cycle. Both stay scalar.
+  if (!config.hold_set.empty()) return false;
+  if (config.bounded && config.pattern_store != nullptr) return false;
+  return true;
+}
+
+void PackedCandidateEngine::speculate(const SeqSim& sim,
+                                      std::span<const std::uint32_t> seeds) {
+  FBT_OBS_PHASE("construct.speculate");
+  invalidate();
+
+  const std::size_t n = std::min(seeds.size(), lanes_);
+  require(n >= 1, "PackedCandidateEngine::speculate", "no seeds given");
+  batch_seeds_.assign(seeds.begin(), seeds.begin() + n);
+  cursor_ = 0;
+
+  base_have_prev_ = sim.have_prev();
+  base_state_ = sim.state();
+  if (base_have_prev_) {
+    base_values_ = sim.values();
+    base_prev_values_ = sim.prev_values();
+  }
+
+  packed_tpg_.reseed(batch_seeds_);
+  packed_sim_.load_broadcast(base_state_, sim.values(), sim.prev_values(),
+                             base_have_prev_);
+
+  const std::size_t L = config_.segment_length;
+  const std::size_t num_inputs = netlist_->num_inputs();
+  const std::size_t num_flops = netlist_->num_flops();
+  const std::size_t lines = netlist_->num_lines();
+  usable_.assign(n, L);
+  violated_.assign(n, 0);
+  std::uint64_t active = n == 64 ? ~0ULL : ((1ULL << n) - 1);
+
+  for (std::size_t c = 0; c < L && active != 0; ++c) {
+    if (c % 2 == 0) {
+      // Launch state s(c) of the test pair (c, c+1), all lanes at once.
+      const std::span<const std::uint64_t> state = packed_sim_.state_words();
+      std::copy(state.begin(), state.end(),
+                launch_words_.begin() + (c / 2) * num_flops);
+    }
+    const std::span<std::uint64_t> pi(pi_words_.data() + c * num_inputs,
+                                      num_inputs);
+    const std::span<std::uint32_t> counts(
+        toggles_.data() + c * PackedSeqSim::kLanes, PackedSeqSim::kLanes);
+    packed_tpg_.next_vectors(pi);
+    packed_sim_.step(pi, counts);
+    if (config_.bounded) {
+      std::uint64_t scan = active;
+      while (scan != 0) {
+        const unsigned k = static_cast<unsigned>(std::countr_zero(scan));
+        scan &= scan - 1;
+        const std::uint32_t toggled = counts[k];
+        if (toggled > 0 &&
+            swa_percent(toggled, lines) > config_.swa_bound_percent) {
+          usable_[k] = c & ~std::size_t{1};
+          violated_[k] = 1;
+          active &= ~(1ULL << k);
+        }
+      }
+    }
+  }
+
+  FBT_OBS_COUNTER_ADD("bist.speculated_lanes", n);
+  FBT_OBS_COUNTER_ADD("bist.speculation_batches", 1);
+}
+
+bool PackedCandidateEngine::pending_matches(const SeqSim& sim) const {
+  if (!has_pending()) return false;
+  if (sim.have_prev() != base_have_prev_) return false;
+  if (sim.state() != base_state_) return false;
+  // When no previous settled cycle exists, the line values are overwritten
+  // before they are ever read, so only the flop state defines the dynamics.
+  if (!base_have_prev_) return true;
+  return sim.values() == base_values_ && sim.prev_values() == base_prev_values_;
+}
+
+CandidateSegment PackedCandidateEngine::take_pending() {
+  require(has_pending(), "PackedCandidateEngine::take_pending",
+          "no speculated lane pending");
+  const std::size_t k = cursor_++;
+  FBT_OBS_COUNTER_ADD("bist.segments_built", 1);
+  FBT_OBS_COUNTER_ADD("bist.speculation_hits", 1);
+  if (violated_[k]) FBT_OBS_COUNTER_ADD("bist.swa_violations", 1);
+
+  CandidateSegment result;
+  const std::size_t usable = usable_[k];
+  if (usable < 2) return result;
+  result.usable_cycles = usable;
+
+  const std::size_t num_inputs = netlist_->num_inputs();
+  const std::size_t num_flops = netlist_->num_flops();
+  const std::uint64_t lane = 1ULL << k;
+  result.tests.resize(usable / 2);
+  for (std::size_t t = 0; t < usable / 2; ++t) {
+    BroadsideTest& test = result.tests[t];
+    const std::uint64_t* launch = launch_words_.data() + t * num_flops;
+    test.scan_state.resize(num_flops);
+    for (std::size_t f = 0; f < num_flops; ++f) {
+      test.scan_state[f] = (launch[f] & lane) ? 1 : 0;
+    }
+    const std::uint64_t* v1 = pi_words_.data() + (2 * t) * num_inputs;
+    const std::uint64_t* v2 = pi_words_.data() + (2 * t + 1) * num_inputs;
+    test.v1.resize(num_inputs);
+    test.v2.resize(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      test.v1[i] = (v1[i] & lane) ? 1 : 0;
+      test.v2[i] = (v2[i] & lane) ? 1 : 0;
+    }
+  }
+  FBT_OBS_COUNTER_ADD("bist.tests_extracted", result.tests.size());
+
+  const std::size_t lines = netlist_->num_lines();
+  for (std::size_t c = 0; c < usable; ++c) {
+    const std::uint32_t toggled = toggles_[c * PackedSeqSim::kLanes + k];
+    result.peak_swa = std::max(result.peak_swa, swa_percent(toggled, lines));
+  }
+  return result;
+}
+
+void PackedCandidateEngine::invalidate() {
+  if (cursor_ < batch_seeds_.size()) {
+    FBT_OBS_COUNTER_ADD("bist.speculation_wasted",
+                        batch_seeds_.size() - cursor_);
+  }
+  batch_seeds_.clear();
+  cursor_ = 0;
+}
+
+}  // namespace fbt

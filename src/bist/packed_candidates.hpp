@@ -1,0 +1,94 @@
+// Speculative, bit-packed candidate-seed evaluation for the segment
+// construction loop (dissertation §4.4).
+//
+// The scalar search tries LFSR seeds one at a time: simulate up to L
+// functional cycles, bound every cycle's SWA, grade the extracted tests, and
+// rewind the whole trajectory on failure. Because every *failed* candidate
+// restores the same simulator snapshot, all candidates between two
+// acceptances start from one identical state -- so a batch of W seeds can be
+// evaluated in a single bit-parallel pass (lane k of every packed word =
+// candidate seed k) and walked strictly in seed order afterwards. An
+// acceptance advances the state and invalidates the untried lanes (their
+// seeds stay queued; only the speculative simulation work is discarded),
+// which is exactly why failure-only speculation reproduces the serial search
+// bit for bit.
+//
+// The engine produces, per lane: the violation-trimmed usable prefix length,
+// the extracted broadside tests, and the peak SWA -- everything the
+// construction loop needs to grade and commit a candidate without touching
+// the scalar simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bist/functional_bist.hpp"
+#include "bist/packed_tpg.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/packed_seqsim.hpp"
+#include "sim/seqsim.hpp"
+
+namespace fbt {
+
+class PackedCandidateEngine {
+ public:
+  /// `tpg` must be the generator's TPG (shared taps/cube); `config` supplies
+  /// L and the SWA bound. `lanes` is clamped to [1, 64].
+  PackedCandidateEngine(const Netlist& netlist, const Tpg& tpg,
+                        const FunctionalBistConfig& config, std::size_t lanes);
+
+  /// Whether the packed engine can reproduce the scalar search for `config`
+  /// (no state holding, no signal-transition-pattern store).
+  static bool supports(const FunctionalBistConfig& config);
+
+  std::size_t lanes() const { return lanes_; }
+
+  /// Evaluates one candidate segment per seed (up to lanes()) from `sim`'s
+  /// current state in a single packed pass. Previously speculated but
+  /// untaken lanes are discarded (counted as wasted).
+  void speculate(const SeqSim& sim, std::span<const std::uint32_t> seeds);
+
+  /// True while speculated lanes remain to be taken.
+  bool has_pending() const { return cursor_ < batch_seeds_.size(); }
+
+  /// True when the next pending lane was speculated from exactly `sim`'s
+  /// current logical state (same flop state; same settled values when a
+  /// previous cycle exists), i.e. taking it reproduces the scalar search.
+  bool pending_matches(const SeqSim& sim) const;
+
+  std::uint32_t pending_seed() const { return batch_seeds_[cursor_]; }
+
+  /// Extracts the next pending lane's candidate and advances the cursor.
+  CandidateSegment take_pending();
+
+  /// Discards the remaining pending lanes (their evaluation, not their
+  /// seeds), recording them as wasted speculation.
+  void invalidate();
+
+ private:
+  const Netlist* netlist_;
+  FunctionalBistConfig config_;
+  PackedTpg packed_tpg_;
+  PackedSeqSim packed_sim_;
+  std::size_t lanes_;
+
+  // Base state of the current batch.
+  bool base_have_prev_ = false;
+  std::vector<std::uint8_t> base_state_;
+  std::vector<std::uint8_t> base_values_;
+  std::vector<std::uint8_t> base_prev_values_;
+
+  // Batch results. Rows are flat: pi_words_ has num_inputs words per cycle,
+  // launch_words_ has num_flops words per even cycle, toggle counts one
+  // 64-entry row per cycle.
+  std::vector<std::uint32_t> batch_seeds_;
+  std::size_t cursor_ = 0;
+  std::vector<std::uint64_t> pi_words_;
+  std::vector<std::uint64_t> launch_words_;
+  std::vector<std::uint32_t> toggles_;
+  std::vector<std::size_t> usable_;
+  std::vector<std::uint8_t> violated_;
+};
+
+}  // namespace fbt

@@ -1,0 +1,74 @@
+#include "bist/packed_tpg.hpp"
+
+#include <algorithm>
+
+#include "obs/instrument.hpp"
+#include "util/require.hpp"
+
+namespace fbt {
+
+PackedTpg::PackedTpg(const Tpg& tpg)
+    : tpg_(&tpg),
+      stages_(tpg.config().lfsr_stages),
+      taps_mask_(Lfsr::primitive_taps(tpg.config().lfsr_stages)) {
+  lfsr_.assign(stages_, 0);
+  sr_.assign(tpg.shift_register_size(), 0);
+}
+
+void PackedTpg::reseed(std::span<const std::uint32_t> seeds) {
+  require(!seeds.empty() && seeds.size() <= kLanes, "PackedTpg::reseed",
+          "seed count must be 1..64");
+  const std::uint32_t mask =
+      stages_ == 32 ? 0xffffffffu : ((1u << stages_) - 1);
+  std::fill(lfsr_.begin(), lfsr_.end(), 0ULL);
+  for (std::size_t k = 0; k < kLanes; ++k) {
+    // Lanes beyond the seed span replicate seed 1; their output is ignored.
+    std::uint32_t state = (k < seeds.size() ? seeds[k] : 1u) & mask;
+    if (state == 0) state = 1;  // XOR-feedback lockup state, as Lfsr::seed
+    for (unsigned j = 0; j < stages_; ++j) {
+      if (state & (1u << j)) lfsr_[j] |= 1ULL << k;
+    }
+  }
+  // Initialization: clock the shift register full before pattern generation.
+  for (std::size_t c = 0; c < sr_.size(); ++c) clock_shift_register();
+}
+
+void PackedTpg::clock_shift_register() {
+  FBT_OBS_COUNTER_ADD("bist.packed_lfsr_cycles", 1);
+  // Fibonacci LFSR step, bit-sliced: the parity of the tapped stages is the
+  // XOR of their stage words; stages shift towards Qn.
+  std::uint64_t feedback = 0;
+  for (unsigned j = 0; j < stages_; ++j) {
+    if (taps_mask_ & (1u << j)) feedback ^= lfsr_[j];
+  }
+  for (unsigned j = stages_ - 1; j > 0; --j) lfsr_[j] = lfsr_[j - 1];
+  lfsr_[0] = feedback;
+  const std::uint64_t out = lfsr_[stages_ - 1];  // Qn drives the SR
+  for (std::size_t k = sr_.size(); k > 1; --k) sr_[k - 1] = sr_[k - 2];
+  if (!sr_.empty()) sr_[0] = out;
+}
+
+void PackedTpg::next_vectors(std::span<std::uint64_t> pi_words) {
+  FBT_OBS_COUNTER_ADD("bist.packed_tpg_vectors_generated", 1);
+  const InputCube& cube = tpg_->cube();
+  require(pi_words.size() == cube.values.size(), "PackedTpg::next_vectors",
+          "packed word count must equal the input count");
+  clock_shift_register();
+  for (std::size_t i = 0; i < pi_words.size(); ++i) {
+    const std::vector<std::uint32_t>& taps = tpg_->input_taps(i);
+    const Val3 c = cube.values[i];
+    if (c == Val3::kX) {
+      pi_words[i] = sr_[taps[0]];
+    } else if (c == Val3::k0) {
+      std::uint64_t acc = ~0ULL;
+      for (const std::uint32_t t : taps) acc &= sr_[t];
+      pi_words[i] = acc;
+    } else {
+      std::uint64_t acc = 0;
+      for (const std::uint32_t t : taps) acc |= sr_[t];
+      pi_words[i] = acc;
+    }
+  }
+}
+
+}  // namespace fbt

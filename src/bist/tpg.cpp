@@ -45,9 +45,16 @@ void Tpg::reseed(std::uint32_t seed) {
 }
 
 std::vector<std::uint8_t> Tpg::next_vector() {
+  std::vector<std::uint8_t> vec(netlist_->num_inputs(), 0);
+  next_vector_into(vec);
+  return vec;
+}
+
+void Tpg::next_vector_into(std::span<std::uint8_t> vec) {
+  require(vec.size() == netlist_->num_inputs(), "Tpg::next_vector_into",
+          "vector size must equal the input count");
   FBT_OBS_COUNTER_ADD("bist.tpg_vectors_generated", 1);
   clock_shift_register();
-  std::vector<std::uint8_t> vec(netlist_->num_inputs(), 0);
   for (std::size_t i = 0; i < vec.size(); ++i) {
     const Val3 c = cube_.values[i];
     if (c == Val3::kX) {
@@ -64,7 +71,6 @@ std::vector<std::uint8_t> Tpg::next_vector() {
       vec[i] = acc;
     }
   }
-  return vec;
 }
 
 }  // namespace fbt

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bist/input_cube.hpp"
@@ -52,6 +53,11 @@ class Tpg {
 
   /// Advances one clock and returns the primary-input vector for this cycle.
   std::vector<std::uint8_t> next_vector();
+
+  /// Advances one clock and writes the primary-input vector into `vec`
+  /// (size must equal the input count). Allocation-free variant for the
+  /// per-cycle construction loop.
+  void next_vector_into(std::span<std::uint8_t> vec);
 
  private:
   void clock_shift_register();

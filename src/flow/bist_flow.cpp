@@ -32,6 +32,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   gen.swa_bound_percent = cal.peak_percent;
   gen.bounded = !unconstrained;
   gen.num_threads = config.num_threads;
+  gen.speculation_lanes = config.speculation_lanes;
 
   ScanChains scan(target, config.scan);
   BistExperimentResult result{.target = std::move(target),
@@ -126,6 +127,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
 
   FBT_OBS_GAUGE_SET("flow.num_threads",
                     ThreadPool::resolve_threads(config.num_threads));
+  FBT_OBS_GAUGE_SET("flow.speculation_lanes", config.speculation_lanes);
   FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);
   FBT_OBS_GAUGE_SET("flow.fault_coverage_percent",
                     result.fault_coverage_percent);

@@ -34,6 +34,10 @@ struct BistExperimentConfig {
   /// segments and sequence reduction). 0 = hardware concurrency; results are
   /// bit-identical for any value. Overrides generation.num_threads.
   std::size_t num_threads = 1;
+  /// Speculation width W for the candidate-seed search (packed lane-parallel
+  /// evaluation, clamped to 64). 1 forces the scalar reference loop; results
+  /// are bit-identical for any value. Overrides generation.speculation_lanes.
+  std::size_t speculation_lanes = 64;
   /// Emit the on-chip BIST machinery as Verilog after generation. Requires a
   /// scan partition whose chain lengths all divide Lsc -- use
   /// equal_partition_scan_config for `scan` (emit_bist_rtl fails loudly

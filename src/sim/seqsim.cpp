@@ -86,6 +86,14 @@ SeqSim::Snapshot SeqSim::snapshot() const {
   return Snapshot{values_, prev_values_, state_, cycle_, have_prev_};
 }
 
+void SeqSim::snapshot_into(Snapshot& out) const {
+  out.values = values_;
+  out.prev_values = prev_values_;
+  out.state = state_;
+  out.cycle = cycle_;
+  out.have_prev = have_prev_;
+}
+
 void SeqSim::restore(const Snapshot& snap) {
   require(snap.values.size() == values_.size() &&
               snap.state.size() == state_.size(),

@@ -62,6 +62,9 @@ class SeqSim {
   /// Number of step() calls since the last load_state().
   std::size_t cycle() const { return cycle_; }
 
+  /// Whether a previous settled cycle exists (the next step measures SWA).
+  bool have_prev() const { return have_prev_; }
+
   /// Opaque snapshot of the full simulation state (flip-flops, settled line
   /// values, switching-activity history). Used by the BIST flow to evaluate
   /// candidate TPG seeds and roll back rejected ones.
@@ -73,6 +76,9 @@ class SeqSim {
     bool have_prev = false;
   };
   Snapshot snapshot() const;
+  /// Overwrites `out` in place, reusing its buffers (no allocation once the
+  /// vectors have reached netlist size). For snapshot pools in hot loops.
+  void snapshot_into(Snapshot& out) const;
   void restore(const Snapshot& snap);
 
  private:

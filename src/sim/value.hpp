@@ -31,5 +31,8 @@ std::uint8_t eval_gate2_indexed(GateType type, const std::uint32_t* fanin_ids,
                                 std::size_t count, const std::uint8_t* values);
 Val3 eval_gate3_indexed(GateType type, const std::uint32_t* fanin_ids,
                         std::size_t count, const Val3* values);
+std::uint64_t eval_gate64_indexed(GateType type, const std::uint32_t* fanin_ids,
+                                  std::size_t count,
+                                  const std::uint64_t* values);
 
 }  // namespace fbt
