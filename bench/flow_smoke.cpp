@@ -1,0 +1,41 @@
+// Deterministic end-to-end smoke bench: one small unconstrained experiment
+// (s298 under the buffers driver, the flow_test configuration) whose
+// BENCH_flow_smoke.json is the CI regression baseline. Unconstrained means
+// bounded == false, so no floating-point SWA comparison influences segment
+// accept/reject -- coverage and test counts are integer-deterministic across
+// platforms and safe to gate with `fbt_report diff` against the checked-in
+// baseline in bench/baselines/.
+#include <cstdio>
+#include <string>
+
+#include "flow/bist_flow.hpp"
+#include "obs/run_report.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const fbt::Cli cli(argc, argv);
+  const std::string target = cli.get("target", "s298");
+  const std::string driver = cli.get("driver", "buffers");
+
+  fbt::BistExperimentConfig cfg;
+  cfg.target_name = target;
+  cfg.driver_name = driver;
+  cfg.calibration.num_sequences = 4;
+  cfg.calibration.sequence_length = 400;
+  cfg.generation.segment_length = 200;
+  cfg.generation.max_segment_failures = 2;
+  cfg.generation.max_sequence_failures = 2;
+  cfg.generation.rng_seed = 19;
+
+  fbt::Timer total;
+  const fbt::BistExperimentResult r = fbt::run_bist_experiment(cfg);
+  std::printf(
+      "flow_smoke: %s/%s coverage %.4f%% tests %zu seeds %zu (%.1f ms)\n",
+      target.c_str(), driver.c_str(), r.fault_coverage_percent,
+      r.run.num_tests, r.run.num_seeds, total.ms());
+
+  fbt::obs::write_bench_report(
+      "flow_smoke", {{"target", target}, {"driver", driver}});
+  return 0;
+}

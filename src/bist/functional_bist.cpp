@@ -138,8 +138,24 @@ FunctionalBistResult FunctionalBistGenerator::run(
   FBT_OBS_PHASE("construct");
 
   FunctionalBistResult result;
+  result.first_detect.assign(faults.size(), FaultFirstDetect{});
   ParallelBroadsideFaultSim fsim(*netlist_, config_.num_threads);
   SeqSim sim(*netlist_);
+
+  // Provenance bookkeeping: applied-test stream position and the running
+  // detected-fault count (faults at the detect limit), both advanced only by
+  // accepted segments so the journal is identical across thread counts and
+  // speculation widths.
+  std::size_t applied_tests = 0;
+  std::size_t cumulative_detected = 0;
+  for (const std::uint32_t c : detect_count) {
+    if (c >= config_.detect_limit) ++cumulative_detected;
+  }
+  FBT_OBS_EVENT("construct_started",
+                {{"faults", faults.size()},
+                 {"initially_detected", cumulative_detected},
+                 {"detect_limit", config_.detect_limit},
+                 {"segment_length", config_.segment_length}});
 
   std::size_t sequence_failures = 0;
   while (sequence_failures < config_.max_sequence_failures) {
@@ -156,6 +172,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
       std::uint32_t seed = 0;
       CandidateSegment candidate;
       bool took_from_batch = false;
+      bool fresh_batch = false;
       if (engine_ != nullptr && engine_->pending_matches(sim)) {
         // Walk the current speculated batch strictly in seed order. Failed
         // candidates leave the simulator untouched, so the remaining lanes
@@ -183,6 +200,7 @@ FunctionalBistResult FunctionalBistGenerator::run(
         seed_queue_.erase(seed_queue_.begin());
         candidate = engine_->take_pending();
         took_from_batch = true;
+        fresh_batch = true;
       } else {
         // Scalar reference evaluation. With the engine active the seeds still
         // come from the shared pre-draw queue so the stream order is
@@ -199,26 +217,85 @@ FunctionalBistResult FunctionalBistGenerator::run(
         sim.snapshot_into(before_snap_);
         candidate = evaluate_candidate(sim, seed);
       }
+      if (fresh_batch) {
+        FBT_OBS_EVENT("speculation_batch",
+                      {{"sequence", result.sequences.size()},
+                       {"lanes", engine_->lanes()}});
+      }
+      FBT_OBS_EVENT("seed_tried",
+                    {{"sequence", result.sequences.size()},
+                     {"segment", sequence.segments.size()},
+                     {"seed", seed},
+                     {"source", took_from_batch ? "packed" : "scalar"},
+                     {"usable_cycles", candidate.usable_cycles},
+                     {"tests", candidate.tests.size()},
+                     {"peak_swa", candidate.peak_swa}});
       bool accepted = false;
       if (!candidate.tests.empty()) {
         std::vector<std::uint32_t> trial = committed;
+        GradeProvenance prov;
         const std::size_t fresh = fsim.grade(candidate.tests, faults, trial,
-                                             config_.detect_limit);
+                                             config_.detect_limit, &prov);
         if (fresh > 0) {
           // One accepted segment contributes one 2q-cycle test window per
           // extracted test; `fresh` is the faults this window set retired.
           FBT_OBS_HIST_RECORD_WITH("bist.faults_dropped_per_segment", fresh,
                                    {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+          FBT_OBS_HIST_RECORD_WITH(
+              "bist.segment_peak_swa_percent", candidate.peak_swa,
+              {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
           committed = std::move(trial);
           result.newly_detected += fresh;
           accepted = true;
-          sequence.segments.push_back(
-              {seed, candidate.usable_cycles, candidate.tests.size()});
+          // First-detect attribution: `trial` started from `committed`, so
+          // prov.first_hits are exactly the faults this segment caught first
+          // (an accepted segment is always committed -- a sequence with one
+          // accepted segment is never discarded).
+          const auto seq_idx = static_cast<std::int32_t>(
+              result.sequences.size());
+          const auto seg_idx = static_cast<std::int32_t>(
+              sequence.segments.size());
+          for (const FirstDetectHit& hit : prov.first_hits) {
+            result.first_detect[hit.fault] = {
+                seq_idx, seg_idx,
+                static_cast<std::int64_t>(applied_tests + hit.test), seed};
+          }
+          for (const GradeBlockStat& block : prov.blocks) {
+            cumulative_detected += block.newly_at_limit;
+            FBT_OBS_EVENT(
+                "grade_block",
+                {{"tests_applied",
+                  applied_tests + block.first_test + block.num_tests},
+                 {"newly_detected", block.newly_at_limit},
+                 {"detected", cumulative_detected}});
+          }
+          FBT_OBS_EVENT("seed_accepted",
+                        {{"sequence", result.sequences.size()},
+                         {"segment", sequence.segments.size()},
+                         {"seed", seed},
+                         {"tests", candidate.tests.size()},
+                         {"usable_cycles", candidate.usable_cycles},
+                         {"newly_detected", fresh},
+                         {"peak_swa", candidate.peak_swa}});
+          applied_tests += candidate.tests.size();
+          sequence.segments.push_back({seed, candidate.usable_cycles,
+                                       candidate.tests.size(), fresh,
+                                       candidate.peak_swa});
           sequence_peak = std::max(sequence_peak, candidate.peak_swa);
           for (auto& t : candidate.tests) {
             sequence_tests.push_back(std::move(t));
           }
         }
+      }
+      if (!accepted) {
+        FBT_OBS_EVENT(
+            "seed_rejected",
+            {{"sequence", result.sequences.size()},
+             {"segment", sequence.segments.size()},
+             {"seed", seed},
+             {"reason", candidate.tests.empty() ? "empty_candidate"
+                                                : "no_new_detections"},
+             {"usable_cycles", candidate.usable_cycles}});
       }
       if (accepted) {
         FBT_OBS_COUNTER_ADD("bist.segments_accepted", 1);
@@ -242,10 +319,18 @@ FunctionalBistResult FunctionalBistGenerator::run(
 
     if (sequence.segments.empty()) {
       ++sequence_failures;  // P_seg(0) could not be selected
+      FBT_OBS_EVENT("sequence_failed",
+                    {{"consecutive_failures", sequence_failures}});
       continue;
     }
     sequence_failures = 0;
     FBT_OBS_COUNTER_ADD("bist.sequences_built", 1);
+    FBT_OBS_EVENT("sequence_committed",
+                  {{"sequence", result.sequences.size()},
+                   {"segments", sequence.segments.size()},
+                   {"tests", sequence_tests.size()},
+                   {"detected", cumulative_detected},
+                   {"peak_swa", sequence_peak}});
     detect_count = committed;
     result.nseg_max = std::max(result.nseg_max, sequence.segments.size());
     for (const auto& seg : sequence.segments) {
@@ -258,6 +343,12 @@ FunctionalBistResult FunctionalBistGenerator::run(
   }
 
   result.num_tests = result.tests.size();
+  FBT_OBS_EVENT("construct_finished",
+                {{"sequences", result.sequences.size()},
+                 {"tests", result.num_tests},
+                 {"seeds", result.num_seeds},
+                 {"detected", cumulative_detected},
+                 {"faults", faults.size()}});
   return result;
 }
 

@@ -34,6 +34,8 @@ struct SegmentRecord {
   std::uint32_t seed = 0;    ///< LFSR seed that generated the segment
   std::size_t length = 0;    ///< applied cycles (even)
   std::size_t num_tests = 0; ///< length / 2
+  std::size_t newly_detected = 0;  ///< faults this segment's tests retired
+  double peak_swa = 0.0;     ///< peak SWA % over the segment's cycles
 };
 
 /// One multi-segment primary input sequence P_multi (§4.4).
@@ -86,6 +88,20 @@ struct CandidateSegment {
   double peak_swa = 0.0;
 };
 
+/// Provenance of one fault's first detection during run(): which committed
+/// segment (and which applied test within the construction stream) first
+/// caught it. Faults that entered run() already detected, or were never
+/// detected, keep the -1 sentinels. Test indices refer to the construction
+/// order of the applied stream, before any sequence reduction.
+struct FaultFirstDetect {
+  std::int32_t sequence = -1;  ///< committed-sequence index
+  std::int32_t segment = -1;   ///< segment index within that sequence
+  std::int64_t test = -1;      ///< applied-test index at construction time
+  std::uint32_t seed = 0;      ///< LFSR seed of the detecting segment
+
+  bool operator==(const FaultFirstDetect&) const = default;
+};
+
 struct FunctionalBistResult {
   std::vector<SequenceRecord> sequences;
   TestSet tests;               ///< all applied tests, in application order
@@ -95,6 +111,9 @@ struct FunctionalBistResult {
   std::size_t lmax = 0;        ///< L_max: longest segment
   double peak_swa = 0.0;       ///< peak SWA % over all applied cycles
   std::size_t newly_detected = 0;
+  /// One entry per fault: first-detect attribution. Bit-identical across
+  /// num_threads and speculation_lanes (the search itself is).
+  std::vector<FaultFirstDetect> first_detect;
 };
 
 class PackedCandidateEngine;

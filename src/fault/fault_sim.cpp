@@ -1,5 +1,7 @@
 #include "fault/fault_sim.hpp"
 
+#include <algorithm>
+
 #include "obs/instrument.hpp"
 #include "sim/value.hpp"
 #include "util/require.hpp"
@@ -106,13 +108,18 @@ std::uint64_t BroadsideFaultSim::fault_mask(const TransitionFault& fault) {
 std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
                                      const TransitionFaultList& faults,
                                      std::span<std::uint32_t> detect_count,
-                                     std::uint32_t detect_limit) {
+                                     std::uint32_t detect_limit,
+                                     GradeProvenance* provenance) {
   require(detect_count.size() == faults.size(), "BroadsideFaultSim::grade",
           "detect_count size must equal the fault count");
   require(detect_limit >= 1, "BroadsideFaultSim::grade",
           "detect_limit must be >= 1");
   FBT_OBS_PHASE("grade");
   Timer grade_timer;
+  if (provenance != nullptr) {
+    provenance->first_hits.clear();
+    provenance->blocks.clear();
+  }
   // Dense index list of the faults still below the detect limit. A fault
   // that reaches the limit is compacted out, so later blocks touch only
   // pending faults and an exhausted list ends the walk without rescanning
@@ -129,21 +136,41 @@ std::size_t BroadsideFaultSim::grade(std::span<const BroadsideTest> tests,
        first += 64) {
     const std::size_t count = std::min<std::size_t>(64, tests.size() - first);
     load_block(tests, first, count);
+    std::uint32_t block_newly = 0;
     std::size_t live = 0;
     for (const std::uint32_t f : active) {
       const std::uint64_t mask = fault_mask(faults.fault(f));
       if (mask != 0) {
+        if (provenance != nullptr && detect_count[f] == 0) {
+          provenance->first_hits.push_back(
+              {f, static_cast<std::uint32_t>(first) +
+                      static_cast<std::uint32_t>(__builtin_ctzll(mask))});
+        }
         const auto hits =
             static_cast<std::uint32_t>(__builtin_popcountll(mask));
         detect_count[f] = std::min(detect_limit, detect_count[f] + hits);
         if (detect_count[f] >= detect_limit) {
           ++newly_complete;  // dropped: not carried into the next block
+          ++block_newly;
           continue;
         }
       }
       active[live++] = f;
     }
     active.resize(live);
+    if (provenance != nullptr) {
+      provenance->blocks.push_back({static_cast<std::uint32_t>(first),
+                                    static_cast<std::uint32_t>(count),
+                                    block_newly});
+    }
+  }
+  if (provenance != nullptr) {
+    // Canonical order: the in-loop order is (block, active-list position),
+    // which a sharded merge cannot reproduce; fault index can.
+    std::sort(provenance->first_hits.begin(), provenance->first_hits.end(),
+              [](const FirstDetectHit& a, const FirstDetectHit& b) {
+                return a.fault < b.fault;
+              });
   }
   FBT_OBS_COUNTER_ADD("fault.tests_graded", tests.size());
   FBT_OBS_COUNTER_ADD("fault.faults_dropped", newly_complete);

@@ -18,6 +18,34 @@
 
 namespace fbt {
 
+/// First detection of one fault within a single grade() call: the fault went
+/// from zero credit to detected, and `test` is the lowest-index test that
+/// caught it.
+struct FirstDetectHit {
+  std::uint32_t fault = 0;  ///< index into the graded fault list
+  std::uint32_t test = 0;   ///< index into the graded test span
+
+  bool operator==(const FirstDetectHit&) const = default;
+};
+
+/// Drop statistics for one 64-test grading block.
+struct GradeBlockStat {
+  std::uint32_t first_test = 0;      ///< index of the block's first test
+  std::uint32_t num_tests = 0;       ///< tests in the block (<= 64)
+  std::uint32_t newly_at_limit = 0;  ///< faults reaching detect_limit here
+
+  bool operator==(const GradeBlockStat&) const = default;
+};
+
+/// Optional provenance from one grade() call. Both vectors are canonical --
+/// first_hits sorted by fault index, blocks in test order covering every
+/// block any still-active fault was graded against -- so the serial engine
+/// and any sharded parallel merge produce bit-identical provenance.
+struct GradeProvenance {
+  std::vector<FirstDetectHit> first_hits;
+  std::vector<GradeBlockStat> blocks;
+};
+
 class BroadsideFaultSim {
  public:
   explicit BroadsideFaultSim(const Netlist& netlist);
@@ -25,11 +53,14 @@ class BroadsideFaultSim {
   /// Grades `tests` against `faults` with fault dropping: a fault whose
   /// detection count in `detect_count` reaches `detect_limit` is skipped.
   /// Updates `detect_count` in place and returns the number of faults whose
-  /// count first reached `detect_limit` during this call.
+  /// count first reached `detect_limit` during this call. When `provenance`
+  /// is non-null it is overwritten with this call's first-detect hits and
+  /// per-block drop stats.
   std::size_t grade(std::span<const BroadsideTest> tests,
                     const TransitionFaultList& faults,
                     std::span<std::uint32_t> detect_count,
-                    std::uint32_t detect_limit = 1);
+                    std::uint32_t detect_limit = 1,
+                    GradeProvenance* provenance = nullptr);
 
   /// Per-test detection bits for every fault (no dropping). Row f holds
   /// ceil(tests/64) words; bit t of word t/64 is 1 when test t detects fault

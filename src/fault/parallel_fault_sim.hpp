@@ -28,11 +28,15 @@ class ParallelBroadsideFaultSim {
   /// Actual worker count (>= 1) after resolving the knob.
   std::size_t num_threads() const { return pool_.size(); }
 
-  /// Same contract as BroadsideFaultSim::grade, bit-identical results.
+  /// Same contract as BroadsideFaultSim::grade, bit-identical results --
+  /// including `provenance`, whose per-shard pieces are merged back into the
+  /// canonical order the serial engine produces (first hits sorted by fault
+  /// index, per-block drop counts summed across shards).
   std::size_t grade(std::span<const BroadsideTest> tests,
                     const TransitionFaultList& faults,
                     std::span<std::uint32_t> detect_count,
-                    std::uint32_t detect_limit = 1);
+                    std::uint32_t detect_limit = 1,
+                    GradeProvenance* provenance = nullptr);
 
   /// Same contract as BroadsideFaultSim::detection_matrix, bit-identical
   /// rows.

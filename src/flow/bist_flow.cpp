@@ -81,6 +81,11 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
       FunctionalBistResult reduced;
       reduced.newly_detected = result.run.newly_detected;
       reduced.peak_swa = result.run.peak_swa;
+      // Attribution records construction history: sequence/test indices keep
+      // naming the pre-reduction stream, including sequences the reduction
+      // dropped (a dropped sequence's detections are re-covered by kept
+      // ones, but it still caught those faults first during construction).
+      reduced.first_detect = std::move(result.run.first_detect);
       for (std::size_t t = 0; t < result.run.tests.size(); ++t) {
         if (std::find(kept.begin(), kept.end(), group_of[t]) != kept.end()) {
           reduced.tests.push_back(std::move(result.run.tests[t]));
@@ -128,6 +133,8 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   FBT_OBS_GAUGE_SET("flow.num_threads",
                     ThreadPool::resolve_threads(config.num_threads));
   FBT_OBS_GAUGE_SET("flow.speculation_lanes", config.speculation_lanes);
+  FBT_OBS_GAUGE_SET("flow.num_tests", result.run.num_tests);
+  FBT_OBS_GAUGE_SET("flow.num_seeds", result.run.num_seeds);
   FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);
   FBT_OBS_GAUGE_SET("flow.fault_coverage_percent",
                     result.fault_coverage_percent);

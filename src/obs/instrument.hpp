@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "obs/event_journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 
@@ -62,6 +63,13 @@
 #define FBT_OBS_PHASE(name) \
   ::fbt::obs::PhaseSpan FBT_OBS_CONCAT(fbt_obs_phase_, __LINE__)(name)
 
+/// Appends a typed event to the process-wide journal, e.g.
+/// FBT_OBS_EVENT("seed_accepted", {{"seed", seed}, {"tests", n}}).
+/// Variadic because the brace-enclosed field list contains commas the
+/// preprocessor would otherwise split on.
+#define FBT_OBS_EVENT(type, ...) \
+  ::fbt::obs::journal().emit((type), __VA_ARGS__)
+
 #else  // !FBT_OBS_ENABLED
 
 // sizeof keeps the arguments syntactically checked without evaluating them.
@@ -74,5 +82,8 @@
 #define FBT_OBS_HIST_RECORD_WITH(name, sample, ...) \
   do { (void)sizeof(name); (void)sizeof(sample); } while (0)
 #define FBT_OBS_PHASE(name) do { (void)sizeof(name); } while (0)
+// The field list's braces defeat the sizeof trick, so the arguments are
+// discarded outright (still unevaluated, but not syntax-checked).
+#define FBT_OBS_EVENT(...) do { } while (0)
 
 #endif  // FBT_OBS_ENABLED

@@ -114,6 +114,46 @@ void register_core_counters() {
   reg.counter("atpg.podem_backtracks");
   reg.counter("fault.faults_dropped");
   reg.counter("flow.faults_detected");
+  // Speculative seed search (PR 4) and parallel grading (PR 3): registered
+  // here so the scalar/serial configurations still report them as zeros
+  // instead of omitting them.
+  reg.counter("bist.speculated_lanes");
+  reg.counter("bist.speculation_hits");
+  reg.counter("bist.speculation_wasted");
+  reg.counter("bist.speculation_batches");
+  reg.counter("fault.parallel_shards_graded");
+  reg.gauge("fault.parallel_threads");
+  reg.gauge("flow.num_threads");
+  reg.gauge("flow.speculation_lanes");
+  reg.gauge("flow.fault_coverage_percent");
+  reg.gauge("flow.num_tests");
+  reg.gauge("flow.num_seeds");
+}
+
+double histogram_mean(const HistogramSample& h) {
+  if (h.count == 0) return 0.0;
+  return h.sum / static_cast<double>(h.count);
+}
+
+double histogram_quantile(const HistogramSample& h, double q) {
+  if (h.count == 0 || h.bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket =
+        i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+    if (in_bucket == 0) continue;
+    const double lo = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= h.bounds.size()) return h.bounds.back();  // overflow bucket
+    const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
+    const double upper = h.bounds[i];
+    const double frac = (rank - lo) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, frac));
+  }
+  return h.bounds.back();
 }
 
 }  // namespace fbt::obs

@@ -131,8 +131,18 @@ class MetricsRegistry {
 /// The process-wide registry used by the FBT_OBS_* instrumentation macros.
 MetricsRegistry& registry();
 
-/// Pre-registers the core domain counters so run reports always carry them
-/// (zero-valued when the corresponding code path never ran).
+/// Pre-registers the core domain counters and gauges so run reports always
+/// carry them (zero-valued when the corresponding code path never ran).
 void register_core_counters();
+
+/// Mean of a histogram's samples; 0 when it holds no samples (never NaN --
+/// summary values feed straight into JSON).
+double histogram_mean(const HistogramSample& h);
+
+/// Approximate quantile (q in [0, 1]) from the bucket counts: linear
+/// interpolation inside the bucket holding the target rank, the lower edge
+/// of the first bucket taken as 0, overflow samples pinned to the last
+/// finite bound. 0 when the histogram holds no samples.
+double histogram_quantile(const HistogramSample& h, double q);
 
 }  // namespace fbt::obs

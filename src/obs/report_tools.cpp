@@ -1,0 +1,334 @@
+#include "obs/report_tools.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fbt::obs {
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Value of a named entry in a top-level "gauges"/"counters" object; 0 when
+/// the section or entry is missing so old-schema baselines stay diffable.
+double metric_value(const JsonValue& report, const char* section,
+                    const std::string& name) {
+  const JsonValue* sec = report.find(section);
+  if (sec == nullptr) return 0.0;
+  const JsonValue* entry = sec->find(name);
+  return entry == nullptr ? 0.0 : entry->as_number();
+}
+
+/// Summed total_ms across top-level phases (children are already included
+/// in their parent's total).
+double total_walltime_ms(const JsonValue& report) {
+  const JsonValue* phases = report.find("phases");
+  if (phases == nullptr || !phases->is_array()) return 0.0;
+  double total = 0.0;
+  for (const JsonValue& p : phases->array) {
+    if (const JsonValue* ms = p.find("total_ms")) total += ms->as_number();
+  }
+  return total;
+}
+
+void append_metric_deltas(const JsonValue& baseline, const JsonValue& current,
+                          const char* section, std::ostringstream& out) {
+  const JsonValue* base_sec = baseline.find(section);
+  const JsonValue* cur_sec = current.find(section);
+  if (cur_sec == nullptr || !cur_sec->is_object()) return;
+  for (const auto& [name, value] : cur_sec->object) {
+    if (!value.is_number()) continue;
+    const double before =
+        base_sec != nullptr && base_sec->find(name) != nullptr
+            ? base_sec->find(name)->as_number()
+            : 0.0;
+    if (before == value.number) continue;
+    out << "  " << section << "." << name << ": " << num(before) << " -> "
+        << num(value.number) << "\n";
+  }
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Two-column name/value table from a JSON object of scalars.
+void html_kv_table(const JsonValue* obj, std::ostringstream& out) {
+  out << "<table><tr><th>name</th><th>value</th></tr>\n";
+  if (obj != nullptr && obj->is_object()) {
+    for (const auto& [name, value] : obj->object) {
+      out << "<tr><td>" << html_escape(name) << "</td><td>";
+      if (value.is_number()) {
+        out << num(value.number);
+      } else if (value.is_string()) {
+        out << html_escape(value.string);
+      }
+      out << "</td></tr>\n";
+    }
+  }
+  out << "</table>\n";
+}
+
+/// The coverage convergence curve as an inline SVG polyline; nothing when
+/// fewer than two points exist.
+void html_convergence_svg(const JsonValue& report, std::ostringstream& out) {
+  const JsonValue* analytics = report.find("analytics");
+  const JsonValue* curve =
+      analytics != nullptr ? analytics->find("convergence") : nullptr;
+  if (curve == nullptr || !curve->is_array() || curve->array.size() < 2) {
+    out << "<p class=\"dim\">no convergence data</p>\n";
+    return;
+  }
+  double max_tests = 1.0;
+  double max_detected = 1.0;
+  for (const JsonValue& p : curve->array) {
+    if (const JsonValue* t = p.find("tests")) {
+      max_tests = std::max(max_tests, t->as_number());
+    }
+    if (const JsonValue* d = p.find("detected")) {
+      max_detected = std::max(max_detected, d->as_number());
+    }
+  }
+  const double w = 640.0;
+  const double h = 240.0;
+  const double pad = 32.0;
+  out << "<svg viewBox=\"0 0 " << num(w) << " " << num(h)
+      << "\" class=\"curve\">\n";
+  out << "<rect x=\"" << num(pad) << "\" y=\"8\" width=\"" << num(w - pad - 8)
+      << "\" height=\"" << num(h - pad - 8)
+      << "\" fill=\"none\" stroke=\"#ccc\"/>\n";
+  out << "<polyline fill=\"none\" stroke=\"#0a6\" stroke-width=\"2\" "
+         "points=\"";
+  for (const JsonValue& p : curve->array) {
+    const double t = p.find("tests") != nullptr
+                         ? p.find("tests")->as_number()
+                         : 0.0;
+    const double d = p.find("detected") != nullptr
+                         ? p.find("detected")->as_number()
+                         : 0.0;
+    const double x = pad + (t / max_tests) * (w - pad - 8);
+    const double y = (h - pad) - (d / max_detected) * (h - pad - 16);
+    out << num(x) << "," << num(y) << " ";
+  }
+  out << "\"/>\n";
+  out << "<text x=\"" << num(w / 2) << "\" y=\"" << num(h - 6)
+      << "\" text-anchor=\"middle\" class=\"axis\">tests applied (max "
+      << num(max_tests) << ")</text>\n";
+  out << "<text x=\"12\" y=\"" << num(h / 2)
+      << "\" text-anchor=\"middle\" class=\"axis\" transform=\"rotate(-90 12 "
+      << num(h / 2) << ")\">faults detected (max " << num(max_detected)
+      << ")</text>\n";
+  out << "</svg>\n";
+}
+
+void html_segment_yield(const JsonValue& report, std::ostringstream& out) {
+  const JsonValue* analytics = report.find("analytics");
+  const JsonValue* rows =
+      analytics != nullptr ? analytics->find("segment_yield") : nullptr;
+  if (rows == nullptr || !rows->is_array() || rows->array.empty()) {
+    out << "<p class=\"dim\">no segment yield data</p>\n";
+    return;
+  }
+  static const char* kCols[] = {"sequence", "segment",        "seed",
+                                "tests",    "newly_detected", "peak_swa"};
+  out << "<table><tr>";
+  for (const char* c : kCols) out << "<th>" << c << "</th>";
+  out << "</tr>\n";
+  for (const JsonValue& row : rows->array) {
+    out << "<tr>";
+    for (const char* c : kCols) {
+      const JsonValue* v = row.find(c);
+      out << "<td>" << (v != nullptr ? num(v->as_number()) : "") << "</td>";
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+}
+
+void html_phases(const JsonValue* phases, int depth, std::ostringstream& out) {
+  if (phases == nullptr || !phases->is_array()) return;
+  for (const JsonValue& p : phases->array) {
+    out << "<tr><td>";
+    for (int i = 0; i < depth; ++i) out << "&nbsp;&nbsp;";
+    out << html_escape(p.find("name") != nullptr
+                           ? p.find("name")->as_string("")
+                           : "");
+    out << "</td><td>"
+        << num(p.find("count") != nullptr ? p.find("count")->as_number() : 0)
+        << "</td><td>"
+        << num(p.find("total_ms") != nullptr ? p.find("total_ms")->as_number()
+                                             : 0)
+        << "</td><td>"
+        << num(p.find("self_ms") != nullptr ? p.find("self_ms")->as_number()
+                                            : 0)
+        << "</td></tr>\n";
+    html_phases(p.find("children"), depth + 1, out);
+  }
+}
+
+}  // namespace
+
+DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
+                            const DiffThresholds& thresholds) {
+  DiffResult result;
+  std::ostringstream summary;
+
+  const double cov_before =
+      metric_value(baseline, "gauges", "flow.fault_coverage_percent");
+  const double cov_after =
+      metric_value(current, "gauges", "flow.fault_coverage_percent");
+  const double cov_drop = cov_before - cov_after;
+  summary << "coverage: " << num(cov_before) << "% -> " << num(cov_after)
+          << "%\n";
+  if (thresholds.max_coverage_drop >= 0.0 &&
+      cov_drop > thresholds.max_coverage_drop) {
+    result.violations.push_back(
+        "fault coverage dropped " + num(cov_drop) + " points (" +
+        num(cov_before) + "% -> " + num(cov_after) + "%), allowed " +
+        num(thresholds.max_coverage_drop));
+  }
+
+  const double tests_before = metric_value(baseline, "gauges", "flow.num_tests");
+  const double tests_after = metric_value(current, "gauges", "flow.num_tests");
+  summary << "tests: " << num(tests_before) << " -> " << num(tests_after)
+          << "\n";
+  if (thresholds.max_tests_increase_percent >= 0.0 && tests_before > 0.0) {
+    const double increase =
+        (tests_after - tests_before) / tests_before * 100.0;
+    if (increase > thresholds.max_tests_increase_percent) {
+      result.violations.push_back(
+          "test count grew " + num(increase) + "% (" + num(tests_before) +
+          " -> " + num(tests_after) + "), allowed " +
+          num(thresholds.max_tests_increase_percent) + "%");
+    }
+  }
+
+  const double wall_before = total_walltime_ms(baseline);
+  const double wall_after = total_walltime_ms(current);
+  summary << "walltime_ms: " << num(wall_before) << " -> " << num(wall_after)
+          << "\n";
+  if (thresholds.max_walltime_increase_percent >= 0.0 && wall_before > 0.0) {
+    const double increase = (wall_after - wall_before) / wall_before * 100.0;
+    if (increase > thresholds.max_walltime_increase_percent) {
+      result.violations.push_back(
+          "walltime grew " + num(increase) + "% (" + num(wall_before) +
+          "ms -> " + num(wall_after) + "ms), allowed " +
+          num(thresholds.max_walltime_increase_percent) + "%");
+    }
+  }
+
+  summary << "changed metrics:\n";
+  append_metric_deltas(baseline, current, "gauges", summary);
+  append_metric_deltas(baseline, current, "counters", summary);
+
+  result.regression = !result.violations.empty();
+  result.summary_text = summary.str();
+  return result;
+}
+
+std::string render_html_dashboard(const JsonValue& report,
+                                  const std::string& journal_ndjson) {
+  std::ostringstream out;
+  const std::string tool =
+      report.find("tool") != nullptr ? report.find("tool")->as_string("?") : "?";
+  const std::string sha = report.find("git_sha") != nullptr
+                              ? report.find("git_sha")->as_string("?")
+                              : "?";
+  const std::string stamp = report.find("timestamp_utc") != nullptr
+                                ? report.find("timestamp_utc")->as_string("?")
+                                : "?";
+
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      << "<title>fbt run report: " << html_escape(tool) << "</title>\n"
+      << "<style>\n"
+         "body { font: 14px/1.45 system-ui, sans-serif; margin: 24px; "
+         "color: #222; max-width: 960px; }\n"
+         "h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; "
+         "border-bottom: 1px solid #ddd; padding-bottom: 4px; }\n"
+         "table { border-collapse: collapse; margin: 8px 0; }\n"
+         "th, td { border: 1px solid #ddd; padding: 3px 10px; "
+         "text-align: left; font-variant-numeric: tabular-nums; }\n"
+         "th { background: #f5f5f5; }\n"
+         ".dim { color: #888; }\n"
+         ".curve { width: 100%; max-width: 640px; }\n"
+         ".axis { font-size: 11px; fill: #666; }\n"
+         "pre { background: #f8f8f8; border: 1px solid #eee; padding: 8px; "
+         "overflow-x: auto; font-size: 12px; }\n"
+         "</style></head><body>\n";
+
+  out << "<h1>" << html_escape(tool) << "</h1>\n";
+  out << "<p class=\"dim\">git " << html_escape(sha) << " &middot; "
+      << html_escape(stamp) << "</p>\n";
+
+  out << "<h2>Configuration</h2>\n";
+  html_kv_table(report.find("config"), out);
+
+  out << "<h2>Coverage convergence</h2>\n";
+  html_convergence_svg(report, out);
+
+  out << "<h2>Segment yield</h2>\n";
+  html_segment_yield(report, out);
+
+  out << "<h2>Speculation</h2>\n";
+  const JsonValue* analytics = report.find("analytics");
+  html_kv_table(analytics != nullptr ? analytics->find("speculation") : nullptr,
+                out);
+
+  out << "<h2>Gauges</h2>\n";
+  html_kv_table(report.find("gauges"), out);
+
+  out << "<h2>Counters</h2>\n";
+  html_kv_table(report.find("counters"), out);
+
+  out << "<h2>Phases</h2>\n";
+  out << "<table><tr><th>phase</th><th>count</th><th>total_ms</th>"
+         "<th>self_ms</th></tr>\n";
+  html_phases(report.find("phases"), 0, out);
+  out << "</table>\n";
+
+  out << "<h2>Event journal</h2>\n";
+  if (journal_ndjson.empty()) {
+    out << "<p class=\"dim\">no journal attached</p>\n";
+  } else {
+    // Cap the inline dump so a long run cannot produce a 100 MB page; the
+    // tail carries the commit/finish events, which matter most.
+    constexpr std::size_t kMaxLines = 500;
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(journal_ndjson);
+    std::size_t total = 0;
+    while (std::getline(in, line)) {
+      ++total;
+      lines.push_back(line);
+      if (lines.size() > kMaxLines) lines.erase(lines.begin());
+    }
+    if (total > kMaxLines) {
+      out << "<p class=\"dim\">showing last " << kMaxLines << " of " << total
+          << " events</p>\n";
+    }
+    out << "<pre>";
+    for (const std::string& l : lines) out << html_escape(l) << "\n";
+    out << "</pre>\n";
+  }
+
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace fbt::obs

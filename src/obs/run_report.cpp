@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
+
+#include "obs/event_journal.hpp"
 
 #ifndef FBT_GIT_SHA
 #define FBT_GIT_SHA "unknown"
@@ -84,6 +87,7 @@ RunReportData collect_run_report(
   data.config = config;
   data.phases = PhaseTrace::instance().summarize();
   data.metrics = registry().snapshot();
+  data.analytics = derive_analytics(journal().events(), data.metrics);
   return data;
 }
 
@@ -135,6 +139,9 @@ std::string render_run_report(const RunReportData& data) {
     first = false;
     out += "    \"" + json_escape(h.name) + "\": {\"count\": " +
            fmt("%" PRIu64, h.count) + ", \"sum\": " + json_number(h.sum) +
+           ", \"mean\": " + json_number(histogram_mean(h)) +
+           ", \"p50\": " + json_number(histogram_quantile(h, 0.5)) +
+           ", \"p90\": " + json_number(histogram_quantile(h, 0.9)) +
            ", \"buckets\": [";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out += ", ";
@@ -144,7 +151,34 @@ std::string render_run_report(const RunReportData& data) {
     }
     out += "]}";
   }
-  out += first ? "}\n" : "\n  }\n";
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"analytics\": {\n";
+  out += "    \"convergence\": [";
+  for (std::size_t i = 0; i < data.analytics.convergence.size(); ++i) {
+    const ConvergencePoint& p = data.analytics.convergence[i];
+    if (i > 0) out += ", ";
+    out += fmt("{\"tests\": %" PRIu64 ", \"detected\": %" PRIu64 "}", p.tests,
+               p.detected);
+  }
+  out += "],\n";
+  out += "    \"segment_yield\": [";
+  for (std::size_t i = 0; i < data.analytics.segment_yield.size(); ++i) {
+    const SegmentYieldRow& r = data.analytics.segment_yield[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += fmt("      {\"sequence\": %" PRIu64 ", \"segment\": %" PRIu64
+               ", \"seed\": %" PRIu64 ", \"tests\": %" PRIu64
+               ", \"newly_detected\": %" PRIu64 ", \"peak_swa\": ",
+               r.sequence, r.segment, r.seed, r.tests, r.newly_detected);
+    out += json_number(r.peak_swa) + "}";
+  }
+  out += data.analytics.segment_yield.empty() ? "],\n" : "\n    ],\n";
+  const SpeculationSummary& sp = data.analytics.speculation;
+  out += fmt("    \"speculation\": {\"batches\": %" PRIu64
+             ", \"lanes_evaluated\": %" PRIu64 ", \"hits\": %" PRIu64
+             ", \"wasted\": %" PRIu64 "}\n",
+             sp.batches, sp.lanes_evaluated, sp.hits, sp.wasted);
+  out += "  }\n";
 
   out += "}\n";
   return out;
@@ -163,6 +197,45 @@ bool write_run_report(const std::string& path, const RunReportData& data) {
   return ok;
 }
 
+namespace {
+
+/// The fixed collection directory every bench also copies its artifacts to,
+/// so CI can upload one directory instead of hunting per-bench working dirs.
+/// Compile-time default is <source>/bench/out (see src/obs/CMakeLists.txt);
+/// the FBT_BENCH_OUT_DIR environment variable overrides it, and setting it
+/// to the empty string disables the copy entirely.
+std::string bench_out_dir() {
+  if (const char* env = std::getenv("FBT_BENCH_OUT_DIR"); env != nullptr) {
+    return env;
+  }
+#ifdef FBT_BENCH_OUT_DIR
+  return FBT_BENCH_OUT_DIR;
+#else
+  return {};
+#endif
+}
+
+/// Best-effort write of `body` into `dir`/`filename`, creating `dir` first.
+/// Bench artifacts must never fail the bench itself, so errors only warn.
+void write_to_out_dir(const std::string& dir, const std::string& filename,
+                      const std::string& body) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  if (std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+    std::fprintf(stderr, "[obs] short write to %s\n", path.c_str());
+  }
+  std::fclose(f);
+  std::printf("[obs] wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
 bool write_bench_report(const std::string& name,
                         const std::map<std::string, std::string>& config) {
   const char* dir = std::getenv("FBT_BENCH_DIR");
@@ -171,6 +244,27 @@ bool write_bench_report(const std::string& name,
   const RunReportData data = collect_run_report("bench_" + name, config);
   if (!write_run_report(path, data)) return false;
   std::printf("[obs] wrote %s\n", path.c_str());
+
+  const std::string out_dir = bench_out_dir();
+  if (!out_dir.empty()) {
+    write_to_out_dir(out_dir, "BENCH_" + name + ".json",
+                     render_run_report(data));
+  }
+  if (journal().size() > 0) {
+    const std::string ndjson = journal().ndjson();
+    std::string journal_path =
+        dir != nullptr && dir[0] != '\0' ? std::string(dir) : ".";
+    journal_path += "/JOURNAL_" + name + ".ndjson";
+    std::FILE* jf = std::fopen(journal_path.c_str(), "w");
+    if (jf != nullptr) {
+      std::fwrite(ndjson.data(), 1, ndjson.size(), jf);
+      std::fclose(jf);
+      std::printf("[obs] wrote %s\n", journal_path.c_str());
+    }
+    if (!out_dir.empty()) {
+      write_to_out_dir(out_dir, "JOURNAL_" + name + ".ndjson", ndjson);
+    }
+  }
   return true;
 }
 

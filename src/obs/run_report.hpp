@@ -1,13 +1,15 @@
 // Machine-readable run reports: one JSON document per tool run carrying the
 // build identity (git SHA), the tool's configuration, the phase-trace
-// summary, and a snapshot of every registered metric. Bench harnesses write
-// these as BENCH_<name>.json so the perf trajectory is diffable across PRs.
+// summary, a snapshot of every registered metric, and analytics derived from
+// the event journal. Bench harnesses write these as BENCH_<name>.json so the
+// perf trajectory is diffable across PRs (`tools/fbt_report diff` gates CI
+// on them).
 //
-// Schema (version 1) -- keys are emitted in this fixed order, metric and
+// Schema (version 2) -- keys are emitted in this fixed order, metric and
 // config keys sorted by name, so reports diff cleanly:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "bench_table4_1",
 //     "git_sha": "abc1234",
 //     "timestamp_utc": "2026-08-05T12:00:00Z",
@@ -17,15 +19,27 @@
 //     "counters": {"bist.lfsr_cycles": 4096, ...},
 //     "gauges": {"flow.fault_coverage_percent": 91.2, ...},
 //     "histograms": {"fault.grade_duration_ms":
-//        {"count": 7, "sum": 3.5,
-//         "buckets": [{"le": 0.1, "count": 3}, ..., {"le": "inf", "count": 0}]}}
+//        {"count": 7, "sum": 3.5, "mean": 0.5, "p50": 0.4, "p90": 1.2,
+//         "buckets": [{"le": 0.1, "count": 3}, ..., {"le": "inf", "count": 0}]}},
+//     "analytics": {
+//       "convergence": [{"tests": 64, "detected": 321}, ...],
+//       "segment_yield": [{"sequence": 0, "segment": 0, "seed": 123,
+//                          "tests": 100, "newly_detected": 42,
+//                          "peak_swa": 12.5}, ...],
+//       "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3,
+//                       "wasted": 10}}
 //   }
+//
+// Version history: v1 (PR 1) had neither "analytics" nor the histogram
+// mean/p50/p90 summary values. Histogram summaries are guarded: a histogram
+// with no samples renders mean/p50/p90 as 0, never NaN.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/analytics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
 
@@ -34,13 +48,14 @@ namespace fbt::obs {
 /// Everything that goes into one report. Fields are plain data so tests can
 /// build a fixed instance and pin the rendered bytes.
 struct RunReportData {
-  int schema_version = 1;
+  int schema_version = 2;
   std::string tool;
   std::string git_sha;
   std::string timestamp_utc;
   std::map<std::string, std::string> config;
   std::vector<PhaseSummary> phases;
   MetricsSnapshot metrics;
+  RunAnalytics analytics;
 };
 
 /// Fills a report from the process-wide state: git SHA baked in at build

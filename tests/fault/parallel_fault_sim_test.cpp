@@ -64,6 +64,60 @@ TEST(ParallelFaultSim, MatchesSerialOnEveryRegistryBenchmark) {
   }
 }
 
+// Provenance merge criterion: the parallel grade must report the same
+// first-detect hits (fault, test) and per-block stats as the serial walk,
+// for every thread count -- attribution is part of the deterministic output.
+TEST(ParallelFaultSim, ProvenanceMatchesSerialOnEveryRegistryBenchmark) {
+  for (const BenchmarkSpec& spec : benchmark_registry()) {
+    const Netlist nl = load_benchmark(spec.name);
+    const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+    const std::size_t num_tests = spec.num_gates <= 1000 ? 130 : 64;
+    const TestSet tests = random_tests(nl, num_tests, spec.seed + 5);
+
+    BroadsideFaultSim serial(nl);
+    std::vector<std::uint32_t> serial_counts(faults.size(), 0);
+    GradeProvenance serial_prov;
+    serial.grade(tests, faults, serial_counts, 2, &serial_prov);
+    ASSERT_FALSE(serial_prov.first_hits.empty()) << spec.name;
+
+    for (const std::size_t threads : thread_counts_under_test()) {
+      ParallelBroadsideFaultSim parallel(nl, threads);
+      std::vector<std::uint32_t> counts(faults.size(), 0);
+      GradeProvenance prov;
+      parallel.grade(tests, faults, counts, 2, &prov);
+      EXPECT_EQ(prov.first_hits, serial_prov.first_hits)
+          << spec.name << " threads=" << threads;
+      EXPECT_EQ(prov.blocks, serial_prov.blocks)
+          << spec.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFaultSim, ProvenanceOnlyRecordsFreshFirstDetections) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 96, 23);
+
+  BroadsideFaultSim serial(nl);
+  std::vector<std::uint32_t> counts(faults.size(), 0);
+  GradeProvenance first_pass;
+  serial.grade(tests, faults, counts, 4, &first_pass);
+  // Second grade of the same tests: every fault already has credit, so no
+  // fault is "first detected" again.
+  GradeProvenance second_pass;
+  serial.grade(tests, faults, counts, 4, &second_pass);
+  EXPECT_FALSE(first_pass.first_hits.empty());
+  EXPECT_TRUE(second_pass.first_hits.empty());
+
+  // First hits are sorted by fault index and name a test inside the set.
+  for (std::size_t i = 1; i < first_pass.first_hits.size(); ++i) {
+    EXPECT_LT(first_pass.first_hits[i - 1].fault, first_pass.first_hits[i].fault);
+  }
+  for (const FirstDetectHit& hit : first_pass.first_hits) {
+    EXPECT_LT(hit.test, tests.size());
+  }
+}
+
 TEST(ParallelFaultSim, ZeroThreadsResolvesToHardwareConcurrency) {
   const Netlist nl = make_s27();
   ParallelBroadsideFaultSim sim(nl, 0);

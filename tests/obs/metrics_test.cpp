@@ -128,11 +128,50 @@ TEST(RegisterCoreCounters, CoreNamesAlwaysPresent) {
   for (const char* name :
        {"sim.seqsim_gates_evaluated", "sim.bitsim_gates_evaluated",
         "bist.lfsr_cycles", "bist.tests_extracted", "atpg.podem_backtracks",
-        "fault.faults_dropped", "flow.faults_detected"}) {
+        "fault.faults_dropped", "flow.faults_detected",
+        // Parallel grading (PR 3) and speculative seed search (PR 4): must
+        // appear as zeros in serial/scalar runs, not be omitted.
+        "bist.speculated_lanes", "bist.speculation_hits",
+        "bist.speculation_wasted", "bist.speculation_batches",
+        "fault.parallel_shards_graded"}) {
     bool found = false;
     for (const CounterSample& c : snap.counters) found |= c.name == name;
     EXPECT_TRUE(found) << name;
   }
+  for (const char* name :
+       {"fault.parallel_threads", "flow.num_threads", "flow.speculation_lanes",
+        "flow.fault_coverage_percent", "flow.num_tests", "flow.num_seeds"}) {
+    bool found = false;
+    for (const GaugeSample& g : snap.gauges) found |= g.name == name;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(HistogramSummary, EmptyHistogramYieldsZeroesNotNan) {
+  const HistogramSample empty{"h", {1.0, 10.0}, {0, 0, 0}, 0, 0.0};
+  EXPECT_EQ(histogram_mean(empty), 0.0);
+  EXPECT_EQ(histogram_quantile(empty, 0.5), 0.0);
+  EXPECT_EQ(histogram_quantile(empty, 0.9), 0.0);
+  const HistogramSample no_bounds{"h", {}, {5}, 5, 10.0};
+  EXPECT_EQ(histogram_quantile(no_bounds, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_mean(no_bounds), 2.0);
+}
+
+TEST(HistogramSummary, QuantileInterpolatesWithinBucket) {
+  // 2 samples in (0, 1], 1 in (1, 10], 1 in overflow.
+  const HistogramSample h{"h", {1.0, 10.0}, {2, 1, 1}, 4, 0.0};
+  EXPECT_DOUBLE_EQ(histogram_mean(h), 0.0);
+  // rank 2.0 -> exactly fills the first bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 1.0);
+  // rank 1.0 -> halfway through the first bucket.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.25), 0.5);
+  // rank 3.0 -> fills the second bucket: its upper edge.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75), 10.0);
+  // rank 4.0 lands in the overflow bucket: pinned to the last finite bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0), 10.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, -1.0), 0.0);
 }
 
 #if FBT_OBS_ENABLED

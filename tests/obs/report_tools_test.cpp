@@ -1,0 +1,176 @@
+#include "obs/report_tools.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+
+namespace fbt::obs {
+namespace {
+
+JsonValue parse_or_die(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, v, error)) << error;
+  return v;
+}
+
+/// A minimal but schema-shaped report the diff/render paths understand.
+std::string report_json(double coverage, double tests, double walltime_ms) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      R"({
+  "schema_version": 2,
+  "tool": "bench_flow_smoke",
+  "git_sha": "abc1234",
+  "timestamp_utc": "2026-01-01T00:00:00Z",
+  "config": {"target": "s298"},
+  "phases": [{"name": "flow", "count": 1, "total_ms": %.3f, "self_ms": 1.0, "children": []}],
+  "counters": {"bist.lfsr_cycles": 4096},
+  "gauges": {"flow.fault_coverage_percent": %.6g, "flow.num_tests": %.6g},
+  "histograms": {},
+  "analytics": {
+    "convergence": [{"tests": 64, "detected": 100}, {"tests": 128, "detected": 150}],
+    "segment_yield": [{"sequence": 0, "segment": 0, "seed": 7, "tests": 128, "newly_detected": 150, "peak_swa": 20.5}],
+    "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 2, "wasted": 5}
+  }
+})",
+      walltime_ms, coverage, tests);
+  return buf;
+}
+
+TEST(JsonParse, ParsesReportShapedDocuments) {
+  const JsonValue v = parse_or_die(report_json(91.25, 500, 10.0));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("flow.fault_coverage_percent")->as_number(),
+                   91.25);
+  const JsonValue* curve = v.find_path({"analytics", "convergence"});
+  ASSERT_NE(curve, nullptr);
+  ASSERT_EQ(curve->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve->array[1].find("detected")->as_number(), 150.0);
+  // Key order is document order, not sorted.
+  EXPECT_EQ(v.object[0].first, "schema_version");
+  EXPECT_EQ(v.object[1].first, "tool");
+}
+
+TEST(JsonParse, RejectsMalformedInputWithPosition) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\": 1,}", v, error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+  EXPECT_FALSE(json_parse("[1, 2", v, error));
+  EXPECT_FALSE(json_parse("", v, error));
+  EXPECT_FALSE(json_parse("{} trailing", v, error));
+}
+
+TEST(JsonParse, HandlesEscapesAndLiterals) {
+  const JsonValue v =
+      parse_or_die(R"({"s": "a\"b\nc", "t": true, "n": null, "d": -1.5e2})");
+  EXPECT_EQ(v.find("s")->string, "a\"b\nc");
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_TRUE(v.find("n")->is_null());
+  EXPECT_DOUBLE_EQ(v.find("d")->as_number(), -150.0);
+}
+
+TEST(DiffRunReports, PassesWhenWithinThresholds) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(91.0, 550, 100.0));
+  const DiffResult result = diff_run_reports(base, cur, DiffThresholds{});
+  EXPECT_FALSE(result.regression);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_NE(result.summary_text.find("coverage: 91.25% -> 91%"),
+            std::string::npos);
+}
+
+TEST(DiffRunReports, FlagsCoverageDrop) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(89.0, 500, 10.0));
+  const DiffResult result = diff_run_reports(base, cur, DiffThresholds{});
+  ASSERT_TRUE(result.regression);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_NE(result.violations[0].find("coverage"), std::string::npos);
+}
+
+TEST(DiffRunReports, FlagsTestCountGrowth) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(91.25, 700, 10.0));
+  const DiffResult result = diff_run_reports(base, cur, DiffThresholds{});
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("test count"), std::string::npos);
+}
+
+TEST(DiffRunReports, WalltimeGateIsOptIn) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(91.25, 500, 1000.0));
+  // Disabled by default: machine-dependent.
+  EXPECT_FALSE(diff_run_reports(base, cur, DiffThresholds{}).regression);
+  DiffThresholds gated;
+  gated.max_walltime_increase_percent = 50.0;
+  const DiffResult result = diff_run_reports(base, cur, gated);
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("walltime"), std::string::npos);
+}
+
+TEST(DiffRunReports, NegativeThresholdDisablesCheck) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(50.0, 5000, 10.0));
+  DiffThresholds off;
+  off.max_coverage_drop = -1.0;
+  off.max_tests_increase_percent = -1.0;
+  EXPECT_FALSE(diff_run_reports(base, cur, off).regression);
+}
+
+TEST(DiffRunReports, MissingSectionsDiffAsZeros) {
+  const JsonValue base = parse_or_die("{}");
+  const JsonValue cur = parse_or_die(report_json(91.25, 500, 10.0));
+  // Coverage went 0 -> 91.25 (an improvement); never a regression.
+  EXPECT_FALSE(diff_run_reports(base, cur, DiffThresholds{}).regression);
+}
+
+TEST(DiffRunReports, SummaryListsChangedMetrics) {
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json(91.25, 520, 10.0));
+  const DiffResult result = diff_run_reports(base, cur, DiffThresholds{});
+  EXPECT_NE(result.summary_text.find("gauges.flow.num_tests: 500 -> 520"),
+            std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, ProducesSelfContainedPage) {
+  const JsonValue report = parse_or_die(report_json(91.25, 500, 10.0));
+  const std::string html = render_html_dashboard(
+      report, "{\"seq\": 0, \"type\": \"construct_started\"}\n");
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("bench_flow_smoke"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);         // convergence curve
+  EXPECT_NE(html.find("<polyline"), std::string::npos);
+  EXPECT_NE(html.find("newly_detected"), std::string::npos);
+  EXPECT_NE(html.find("construct_started"), std::string::npos);
+  // No external resources: self-contained means no http(s) references.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, EscapesUntrustedStrings) {
+  const JsonValue report = parse_or_die(
+      R"({"tool": "<script>alert(1)</script>", "config": {"k": "<b>"}})");
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_EQ(html.find("<script>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, RoundTripsRealCollectedReport) {
+  register_core_counters();
+  const RunReportData data = collect_run_report("dashboard_smoke", {});
+  const JsonValue report = parse_or_die(render_run_report(data));
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_NE(html.find("dashboard_smoke"), std::string::npos);
+  EXPECT_NE(html.find("bist.lfsr_cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbt::obs

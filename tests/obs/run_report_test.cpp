@@ -133,13 +133,19 @@ RunReportData golden_data() {
   data.metrics.gauges = {{"flow.fault_coverage_percent", 91.25}};
   data.metrics.histograms = {
       {"fault.grade_duration_ms", {1.0, 10.0}, {2, 1, 0}, 3, 5.5}};
+  data.analytics.convergence = {{64, 300}, {128, 321}};
+  data.analytics.segment_yield = {{0, 0, 123, 100, 42, 12.5}};
+  data.analytics.speculation = {1, 64, 3, 10};
   return data;
 }
 
 // The schema contract: this exact rendering is what downstream diff tooling
 // consumes. Any change here is a schema change and must bump schema_version.
+// v2 added the "analytics" section and the histogram mean/p50/p90 summary
+// values (p50 of the golden histogram: rank 1.5 falls 3/4 into the [0, 1]
+// bucket; p90: rank 2.7 falls 7/10 into the [1, 10] bucket).
 constexpr const char* kGoldenReport = R"({
-  "schema_version": 1,
+  "schema_version": 2,
   "tool": "golden_tool",
   "git_sha": "abc1234",
   "timestamp_utc": "2026-01-01T00:00:00Z",
@@ -160,7 +166,14 @@ constexpr const char* kGoldenReport = R"({
     "flow.fault_coverage_percent": 91.25
   },
   "histograms": {
-    "fault.grade_duration_ms": {"count": 3, "sum": 5.5, "buckets": [{"le": 1, "count": 2}, {"le": 10, "count": 1}, {"le": "inf", "count": 0}]}
+    "fault.grade_duration_ms": {"count": 3, "sum": 5.5, "mean": 1.83333, "p50": 0.75, "p90": 7.3, "buckets": [{"le": 1, "count": 2}, {"le": 10, "count": 1}, {"le": "inf", "count": 0}]}
+  },
+  "analytics": {
+    "convergence": [{"tests": 64, "detected": 300}, {"tests": 128, "detected": 321}],
+    "segment_yield": [
+      {"sequence": 0, "segment": 0, "seed": 123, "tests": 100, "newly_detected": 42, "peak_swa": 12.5}
+    ],
+    "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3, "wasted": 10}
   }
 }
 )";
@@ -175,7 +188,8 @@ TEST(RunReport, GoldenIsWellFormedJsonWithStableKeyOrder) {
   ASSERT_TRUE(parser.parse(&keys));
   EXPECT_EQ(keys, (std::vector<std::string>{
                       "schema_version", "tool", "git_sha", "timestamp_utc",
-                      "config", "phases", "counters", "gauges", "histograms"}));
+                      "config", "phases", "counters", "gauges", "histograms",
+                      "analytics"}));
 }
 
 TEST(RunReport, EmptyReportIsStillValidJson) {
@@ -184,7 +198,19 @@ TEST(RunReport, EmptyReportIsStillValidJson) {
   std::vector<std::string> keys;
   MiniJsonParser parser(render_run_report(data));
   ASSERT_TRUE(parser.parse(&keys));
-  EXPECT_EQ(keys.size(), 9u);
+  EXPECT_EQ(keys.size(), 10u);
+}
+
+TEST(RunReport, EmptyHistogramRendersZeroSummariesNotNan) {
+  RunReportData data;
+  data.tool = "empty_hist";
+  data.metrics.histograms = {{"flow.idle", {1.0, 10.0}, {0, 0, 0}, 0, 0.0}};
+  const std::string body = render_run_report(data);
+  EXPECT_EQ(body.find("nan"), std::string::npos);
+  EXPECT_NE(body.find("\"mean\": 0, \"p50\": 0, \"p90\": 0"),
+            std::string::npos);
+  MiniJsonParser parser(body);
+  ASSERT_TRUE(parser.parse(nullptr));
 }
 
 TEST(RunReport, EscapesSpecialCharacters) {
