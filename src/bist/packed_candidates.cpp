@@ -104,6 +104,7 @@ void PackedCandidateEngine::speculate(const SeqSim& sim,
 
   FBT_OBS_COUNTER_ADD("bist.speculated_lanes", n);
   FBT_OBS_COUNTER_ADD("bist.speculation_batches", 1);
+  FBT_OBS_FOOTPRINT("bist.packed_lanes", footprint_bytes());
 }
 
 bool PackedCandidateEngine::pending_matches(const SeqSim& sim) const {

@@ -66,6 +66,19 @@ class PackedCandidateEngine {
   /// seeds), recording them as wasted speculation.
   void invalidate();
 
+  /// Content bytes of the packed lane state: the packed simulator plus the
+  /// flat batch arrays (PI words, launch states, toggle counts) and the base
+  /// snapshot. Deterministic sizeof-based accounting, no allocator slack.
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) - sizeof(packed_sim_) + packed_sim_.footprint_bytes() +
+           (base_state_.size() + base_values_.size() +
+            base_prev_values_.size() + violated_.size()) *
+               sizeof(std::uint8_t) +
+           (batch_seeds_.size() + toggles_.size()) * sizeof(std::uint32_t) +
+           (pi_words_.size() + launch_words_.size()) * sizeof(std::uint64_t) +
+           usable_.size() * sizeof(std::size_t);
+  }
+
  private:
   const Netlist* netlist_;
   FunctionalBistConfig config_;

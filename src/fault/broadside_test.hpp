@@ -30,4 +30,15 @@ using TestSet = std::vector<BroadsideTest>;
 std::vector<std::uint8_t> second_state(const Netlist& netlist,
                                        const BroadsideTest& test);
 
+/// Bytes owned by a test set: per-test record plus the four value vectors
+/// (resource telemetry; counts content, not allocator slack).
+inline std::uint64_t test_set_footprint_bytes(const TestSet& tests) {
+  std::uint64_t bytes = sizeof(TestSet) + tests.size() * sizeof(BroadsideTest);
+  for (const BroadsideTest& t : tests) {
+    bytes += t.scan_state.size() + t.v1.size() + t.v2.size() +
+             t.state2_override.size();
+  }
+  return bytes;
+}
+
 }  // namespace fbt

@@ -13,6 +13,9 @@ PerTestFaults detected_by_test(const Netlist& netlist, const TestSet& tests,
                                std::size_t num_threads) {
   ParallelBroadsideFaultSim sim(netlist, num_threads);
   const auto matrix = sim.detection_matrix(tests, faults);
+  FBT_OBS_FOOTPRINT("fault.detection_matrix",
+                    detection_matrix_footprint_bytes(matrix));
+  FBT_OBS_ALLOC_CHARGE(detection_matrix_footprint_bytes(matrix));
   PerTestFaults per_test(tests.size());
   for (std::size_t f = 0; f < faults.size(); ++f) {
     for (std::size_t w = 0; w < matrix[f].size(); ++w) {

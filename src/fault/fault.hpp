@@ -52,6 +52,11 @@ class TransitionFaultList {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t index_of(const TransitionFault& fault) const;
 
+  /// Bytes owned by the fault records (resource telemetry).
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) + faults_.size() * sizeof(TransitionFault);
+  }
+
  private:
   std::vector<TransitionFault> faults_;
 };

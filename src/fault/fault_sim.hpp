@@ -46,6 +46,18 @@ struct GradeProvenance {
   std::vector<GradeBlockStat> blocks;
 };
 
+/// Bytes owned by a detection matrix as returned by detection_matrix()
+/// (resource telemetry; counts content, not allocator slack).
+inline std::uint64_t detection_matrix_footprint_bytes(
+    const std::vector<std::vector<std::uint64_t>>& matrix) {
+  std::uint64_t bytes =
+      sizeof(matrix) + matrix.size() * sizeof(std::vector<std::uint64_t>);
+  for (const std::vector<std::uint64_t>& row : matrix) {
+    bytes += row.size() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
 class BroadsideFaultSim {
  public:
   explicit BroadsideFaultSim(const Netlist& netlist);
@@ -70,6 +82,13 @@ class BroadsideFaultSim {
 
   /// Single-query convenience: does `test` detect `fault`?
   bool detects(const BroadsideTest& test, const TransitionFault& fault);
+
+  /// Bytes owned by the embedded simulator and frame buffers
+  /// (resource telemetry).
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) - sizeof(sim_) + sim_.footprint_bytes() +
+           (v1_values_.size() + state2_.size()) * sizeof(std::uint64_t);
+  }
 
  private:
   // Loads up to 64 tests into the simulator, evaluates both frames, and

@@ -41,7 +41,10 @@ std::size_t ParallelBroadsideFaultSim::grade(
           "ParallelBroadsideFaultSim::grade",
           "detect_count size must equal the fault count");
   if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
-    // Too few faults to amortize the per-shard block replay.
+    // Too few faults to amortize the per-shard block replay. Counted so a
+    // report showing parallel_shards_graded == 0 is unambiguous: fallbacks
+    // fired (expected on tiny fault lists) vs. parallelism never ran.
+    FBT_OBS_COUNTER_ADD("fault.serial_grade_fallbacks", 1);
     return shard_sims_[0]->grade(tests, faults, detect_count, detect_limit,
                                  provenance);
   }
@@ -107,6 +110,7 @@ std::vector<std::vector<std::uint64_t>>
 ParallelBroadsideFaultSim::detection_matrix(std::span<const BroadsideTest> tests,
                                             const TransitionFaultList& faults) {
   if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
+    FBT_OBS_COUNTER_ADD("fault.serial_grade_fallbacks", 1);
     return shard_sims_[0]->detection_matrix(tests, faults);
   }
   Timer grade_timer;
@@ -130,6 +134,16 @@ ParallelBroadsideFaultSim::detection_matrix(std::span<const BroadsideTest> tests
   });
   FBT_OBS_HIST_RECORD("fault.parallel_grade_duration_ms", grade_timer.ms());
   return matrix;
+}
+
+std::uint64_t ParallelBroadsideFaultSim::footprint_bytes() const {
+  std::uint64_t bytes =
+      sizeof(*this) +
+      shard_sims_.size() * sizeof(std::unique_ptr<BroadsideFaultSim>);
+  for (const auto& sim : shard_sims_) {
+    bytes += sim->footprint_bytes();
+  }
+  return bytes;
 }
 
 }  // namespace fbt

@@ -43,6 +43,9 @@ class ParallelBroadsideFaultSim {
   std::vector<std::vector<std::uint64_t>> detection_matrix(
       std::span<const BroadsideTest> tests, const TransitionFaultList& faults);
 
+  /// Bytes owned by the per-worker simulator replicas (resource telemetry).
+  std::uint64_t footprint_bytes() const;
+
  private:
   struct Shard {
     std::size_t begin = 0;  ///< first fault index (inclusive)

@@ -130,6 +130,16 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
     result.rtl = emit_bist_rtl(result.target, result.run, result.scan, session);
   }
 
+  // Resource telemetry: footprints of the big owned structures plus the
+  // gate/fault denominators for the run report's derived memory analytics.
+  FBT_OBS_FOOTPRINT("flow.netlist", result.target.footprint_bytes());
+  FBT_OBS_FOOTPRINT("flow.fault_list", result.faults.footprint_bytes());
+  FBT_OBS_FOOTPRINT("flow.tests", test_set_footprint_bytes(result.run.tests));
+  FBT_OBS_FOOTPRINT("flow.detect_count",
+                    result.detect_count.size() * sizeof(std::uint32_t));
+  FBT_OBS_GAUGE_SET("flow.num_gates", result.target.num_gates());
+  FBT_OBS_GAUGE_SET("flow.num_faults", result.faults.size());
+
   FBT_OBS_GAUGE_SET("flow.num_threads",
                     ThreadPool::resolve_threads(config.num_threads));
   FBT_OBS_GAUGE_SET("flow.speculation_lanes", config.speculation_lanes);

@@ -43,6 +43,13 @@ class FlatFanins {
   const std::vector<NodeId>& const0_nodes() const { return const0_; }
   const std::vector<NodeId>& const1_nodes() const { return const1_; }
 
+  /// Bytes held by the CSR arrays (resource telemetry; counts content, not
+  /// allocator slack, so the value is deterministic for a given netlist).
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) + entries_.size() * sizeof(Entry) +
+           (fanins_.size() + const0_.size() + const1_.size()) * sizeof(NodeId);
+  }
+
  private:
   std::vector<Entry> entries_;
   std::vector<NodeId> fanins_;

@@ -164,4 +164,28 @@ unsigned Netlist::level(NodeId id) const {
   return levels_[id];
 }
 
+std::uint64_t Netlist::footprint_bytes() const {
+  std::uint64_t bytes = sizeof(*this);
+  bytes += gates_.size() * sizeof(Gate);
+  for (const Gate& g : gates_) {
+    bytes += g.name.size() + g.fanins.size() * sizeof(NodeId);
+  }
+  bytes += (inputs_.size() + outputs_.size() + flops_.size() +
+            eval_order_.size()) *
+           sizeof(NodeId);
+  bytes += output_flag_.size() * sizeof(std::uint8_t);
+  bytes += levels_.size() * sizeof(unsigned);
+  bytes += fanouts_.size() * sizeof(std::vector<NodeId>);
+  for (const std::vector<NodeId>& f : fanouts_) {
+    bytes += f.size() * sizeof(NodeId);
+  }
+  // Name index: per-node hash bucket entry plus the key copy. Modeled as two
+  // pointers of chaining overhead per node -- close enough for telemetry and
+  // independent of the library's exact bucket-growth policy.
+  for (const auto& [name, id] : by_name_) {
+    bytes += name.size() + sizeof(NodeId) + 2 * sizeof(void*);
+  }
+  return bytes;
+}
+
 }  // namespace fbt

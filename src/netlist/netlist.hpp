@@ -105,6 +105,12 @@ class Netlist {
   /// Count of combinational gates (excludes inputs, flops, constants).
   std::size_t num_gates() const { return eval_order_.size(); }
 
+  /// Approximate bytes owned by this netlist: gate records, names, fanin and
+  /// fanout adjacency, derived order/level arrays, and the name index
+  /// (resource telemetry). Counts content, not allocator slack, so the value
+  /// is deterministic for a given circuit.
+  std::uint64_t footprint_bytes() const;
+
  private:
   void check_mutable() const;
   NodeId add_node(Gate gate);

@@ -101,6 +101,18 @@ void EventJournal::clear() {
   next_seq_ = 0;
 }
 
+std::uint64_t EventJournal::footprint_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t bytes = 0;
+  for (const JournalEvent& e : events_) {
+    bytes += sizeof(JournalEvent) + e.type.size();
+    for (const auto& [name, value] : e.fields) {
+      bytes += sizeof(name) + sizeof(value) + name.size() + value.s.size();
+    }
+  }
+  return bytes;
+}
+
 EventJournal& journal() {
   static EventJournal instance;
   return instance;

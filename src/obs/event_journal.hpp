@@ -88,6 +88,10 @@ class EventJournal {
   /// Drops all events and restarts the sequence numbering at 0.
   void clear();
 
+  /// Approximate heap bytes held by the recorded events (the journal
+  /// buffer's own footprint, reported into the run report's memory section).
+  std::uint64_t footprint_bytes() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<JournalEvent> events_;

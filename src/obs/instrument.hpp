@@ -19,6 +19,7 @@
 #include "obs/event_journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/resource.hpp"
 
 #define FBT_OBS_CONCAT_IMPL(a, b) a##b
 #define FBT_OBS_CONCAT(a, b) FBT_OBS_CONCAT_IMPL(a, b)
@@ -63,6 +64,18 @@
 #define FBT_OBS_PHASE(name) \
   ::fbt::obs::PhaseSpan FBT_OBS_CONCAT(fbt_obs_phase_, __LINE__)(name)
 
+/// Charges `bytes` (one allocation) to the process allocation totals and the
+/// innermost open phase on this thread (see obs/resource.hpp). Call after
+/// building a large owned structure, passing its footprint.
+#define FBT_OBS_ALLOC_CHARGE(bytes) \
+  ::fbt::obs::charge_allocation(static_cast<std::uint64_t>(bytes))
+
+/// Records the current byte footprint of a named owned structure into the
+/// process-wide footprint registry (overwrites the previous value), e.g.
+/// FBT_OBS_FOOTPRINT("fault_list", faults.footprint_bytes()).
+#define FBT_OBS_FOOTPRINT(name, bytes) \
+  ::fbt::obs::footprints().record((name), static_cast<std::uint64_t>(bytes))
+
 /// Appends a typed event to the process-wide journal, e.g.
 /// FBT_OBS_EVENT("seed_accepted", {{"seed", seed}, {"tests", n}}).
 /// Variadic because the brace-enclosed field list contains commas the
@@ -82,6 +95,10 @@
 #define FBT_OBS_HIST_RECORD_WITH(name, sample, ...) \
   do { (void)sizeof(name); (void)sizeof(sample); } while (0)
 #define FBT_OBS_PHASE(name) do { (void)sizeof(name); } while (0)
+#define FBT_OBS_ALLOC_CHARGE(bytes) \
+  do { (void)sizeof(bytes); } while (0)
+#define FBT_OBS_FOOTPRINT(name, bytes) \
+  do { (void)sizeof(name); (void)sizeof(bytes); } while (0)
 // The field list's braces defeat the sizeof trick, so the arguments are
 // discarded outright (still unevaluated, but not syntax-checked).
 #define FBT_OBS_EVENT(...) do { } while (0)

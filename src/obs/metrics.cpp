@@ -122,12 +122,19 @@ void register_core_counters() {
   reg.counter("bist.speculation_wasted");
   reg.counter("bist.speculation_batches");
   reg.counter("fault.parallel_shards_graded");
+  // Disambiguates parallel_shards_graded == 0: the serial short-circuit
+  // fired (few faults or one thread), vs. parallelism never engaged at all.
+  reg.counter("fault.serial_grade_fallbacks");
   reg.gauge("fault.parallel_threads");
   reg.gauge("flow.num_threads");
   reg.gauge("flow.speculation_lanes");
   reg.gauge("flow.fault_coverage_percent");
   reg.gauge("flow.num_tests");
   reg.gauge("flow.num_seeds");
+  // Denominators for the memory section's bytes-per-gate / bytes-per-fault
+  // analytics (resource telemetry, schema v3).
+  reg.gauge("flow.num_gates");
+  reg.gauge("flow.num_faults");
 }
 
 double histogram_mean(const HistogramSample& h) {

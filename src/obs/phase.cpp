@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/resource.hpp"
+
 namespace fbt::obs {
 
 namespace {
@@ -66,7 +68,7 @@ void render_tree(const std::vector<PhaseSummary>& nodes, std::size_t depth,
 }
 
 void render_events(const PhaseNode& node, bool& first, std::string& out) {
-  char buf[96];
+  char buf[224];
   out += first ? "\n" : ",\n";
   first = false;
   out += "  {\"name\": \"";
@@ -76,8 +78,12 @@ void render_events(const PhaseNode& node, bool& first, std::string& out) {
   }
   std::snprintf(buf, sizeof(buf),
                 "\", \"ph\": \"X\", \"ts\": %" PRIu64 ", \"dur\": %" PRIu64
-                ", \"pid\": 1, \"tid\": %" PRIu32 "}",
-                node.start_us, node.dur_us, node.tid);
+                ", \"pid\": 1, \"tid\": %" PRIu32
+                ", \"args\": {\"rss_open_bytes\": %" PRIu64
+                ", \"rss_close_bytes\": %" PRIu64
+                ", \"alloc_bytes\": %" PRIu64 "}}",
+                node.start_us, node.dur_us, node.tid, node.rss_open_bytes,
+                node.rss_close_bytes, node.alloc_bytes);
   out += buf;
   for (const PhaseNode& child : node.children) {
     render_events(child, first, out);
@@ -113,6 +119,23 @@ void PhaseTrace::clear() {
   roots_.clear();
 }
 
+namespace {
+
+std::uint64_t node_footprint(const PhaseNode& node) {
+  std::uint64_t bytes = sizeof(PhaseNode) + node.name.size();
+  for (const PhaseNode& c : node.children) bytes += node_footprint(c);
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t PhaseTrace::footprint_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t bytes = 0;
+  for (const PhaseNode& n : roots_) bytes += node_footprint(n);
+  return bytes;
+}
+
 std::vector<PhaseSummary> summarize_phases(
     const std::vector<PhaseNode>& nodes) {
   std::vector<PhaseSummary> out;
@@ -128,12 +151,15 @@ std::vector<PhaseSummary> summarize_phases(
       }
     }
     if (slot == out.size()) {
-      out.push_back({n.name, 0, 0.0, 0.0, {}});
+      out.push_back({n.name, 0, 0.0, 0.0, 0, 0, 0, {}});
       grouped_children.emplace_back();
     }
     out[slot].count += 1;
     out[slot].total_ms += n.total_ms();
     out[slot].self_ms += n.self_ms();
+    out[slot].rss_delta_bytes += n.rss_delta_bytes();
+    out[slot].alloc_bytes += n.alloc_bytes;
+    out[slot].alloc_count += n.alloc_count;
     for (const PhaseNode& c : n.children) {
       grouped_children[slot].push_back(c);
     }
@@ -168,6 +194,7 @@ PhaseSpan::PhaseSpan(std::string name) {
   OpenSpan span;
   span.node.name = std::move(name);
   span.node.tid = this_thread_tid();
+  span.node.rss_open_bytes = sampled_rss_bytes();
   span.node.start_us = now_us();
   open_spans.push_back(std::move(span));
 }
@@ -177,11 +204,24 @@ PhaseSpan::~PhaseSpan() {
   PhaseNode node = std::move(open_spans.back().node);
   open_spans.pop_back();
   node.dur_us = now_us() - node.start_us;
+  node.rss_close_bytes = sampled_rss_bytes();
   if (open_spans.empty()) {
     PhaseTrace::instance().add_root(std::move(node));
   } else {
     open_spans.back().node.children.push_back(std::move(node));
   }
 }
+
+namespace detail {
+
+bool charge_open_phase(std::uint64_t bytes, std::uint64_t count) {
+  if (open_spans.empty()) return false;
+  PhaseNode& node = open_spans.back().node;
+  node.alloc_bytes += bytes;
+  node.alloc_count += count;
+  return true;
+}
+
+}  // namespace detail
 
 }  // namespace fbt::obs

@@ -24,25 +24,41 @@
 namespace fbt::obs {
 
 /// One completed span. Times are microseconds relative to the trace epoch
-/// (first use of the trace in this process).
+/// (first use of the trace in this process). RSS is sampled (throttled, see
+/// obs/resource.hpp) when the span opens and closes; allocation charges land
+/// on the span that was innermost when charge_allocation ran.
 struct PhaseNode {
   std::string name;
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
   std::uint32_t tid = 1;  ///< sequential id of the opening thread (from 1)
+  std::uint64_t rss_open_bytes = 0;   ///< sampled RSS when the span opened
+  std::uint64_t rss_close_bytes = 0;  ///< sampled RSS when the span closed
+  std::uint64_t alloc_bytes = 0;  ///< bytes charged while innermost
+  std::uint64_t alloc_count = 0;  ///< charges while innermost
   std::vector<PhaseNode> children;
 
   double total_ms() const { return static_cast<double>(dur_us) / 1000.0; }
   /// Wall time not attributed to any child span.
   double self_ms() const;
+  /// RSS growth (possibly negative) across the span.
+  std::int64_t rss_delta_bytes() const {
+    return static_cast<std::int64_t>(rss_close_bytes) -
+           static_cast<std::int64_t>(rss_open_bytes);
+  }
 };
 
-/// Same-name siblings merged: `total_ms` sums over `count` spans.
+/// Same-name siblings merged: `total_ms`, `rss_delta_bytes`, and the
+/// allocation charges sum over `count` spans. Allocation charges are "self"
+/// quantities: a child's charges are not included in its parent's.
 struct PhaseSummary {
   std::string name;
   std::uint64_t count = 0;
   double total_ms = 0.0;
   double self_ms = 0.0;
+  std::int64_t rss_delta_bytes = 0;
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_count = 0;
   std::vector<PhaseSummary> children;
 };
 
@@ -69,6 +85,10 @@ class PhaseTrace {
   /// into the cleared trace when they close).
   void clear();
 
+  /// Approximate heap bytes held by the completed spans (the trace buffer's
+  /// own footprint, reported into the run report's memory section).
+  std::uint64_t footprint_bytes() const;
+
  private:
   friend class PhaseSpan;
   void add_root(PhaseNode node);
@@ -91,5 +111,14 @@ class PhaseSpan {
   PhaseSpan(const PhaseSpan&) = delete;
   PhaseSpan& operator=(const PhaseSpan&) = delete;
 };
+
+namespace detail {
+
+/// Adds an allocation charge to the innermost open span on this thread.
+/// Returns false when no span is open (the process totals in obs/resource
+/// still record the charge). Called by charge_allocation; not a public API.
+bool charge_open_phase(std::uint64_t bytes, std::uint64_t count);
+
+}  // namespace detail
 
 }  // namespace fbt::obs

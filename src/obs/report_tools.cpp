@@ -1,6 +1,7 @@
 #include "obs/report_tools.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -21,6 +22,15 @@ double metric_value(const JsonValue& report, const char* section,
   const JsonValue* sec = report.find(section);
   if (sec == nullptr) return 0.0;
   const JsonValue* entry = sec->find(name);
+  return entry == nullptr ? 0.0 : entry->as_number();
+}
+
+/// Scalar from the top-level "memory" section; 0 when the section or entry
+/// is missing (schema v2 reports have no memory section and cannot regress).
+double memory_value(const JsonValue& report, const std::string& name) {
+  const JsonValue* mem = report.find("memory");
+  if (mem == nullptr) return 0.0;
+  const JsonValue* entry = mem->find(name);
   return entry == nullptr ? 0.0 : entry->as_number();
 }
 
@@ -161,6 +171,94 @@ void html_segment_yield(const JsonValue& report, std::ostringstream& out) {
   out << "</table>\n";
 }
 
+std::string bytes_human(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+/// One horizontal bar row: label, value text, and a width-proportional bar.
+void html_bar_row(const std::string& label, double value, double max_value,
+                  std::ostringstream& out) {
+  const double pct =
+      max_value > 0.0 ? std::min(100.0, 100.0 * std::abs(value) / max_value)
+                      : 0.0;
+  out << "<tr><td>" << html_escape(label) << "</td><td>" << bytes_human(value)
+      << "</td><td class=\"barcell\"><div class=\"bar\" style=\"width:"
+      << num(pct) << "%\"></div></td></tr>\n";
+}
+
+/// Memory panel: RSS/allocation scalars, structure footprints as bars, and
+/// per-top-level-phase RSS deltas as bars. Schema v2 reports have no
+/// "memory" section; the panel degrades to a note so old reports render.
+void html_memory_panel(const JsonValue& report, std::ostringstream& out) {
+  const JsonValue* mem = report.find("memory");
+  if (mem == nullptr || !mem->is_object()) {
+    out << "<p class=\"dim\">no memory data (schema v2 report)</p>\n";
+    return;
+  }
+  out << "<table><tr><th>name</th><th>value</th></tr>\n";
+  static const char* kScalars[] = {"peak_rss_bytes",   "current_rss_bytes",
+                                   "allocated_bytes",  "allocation_count",
+                                   "bytes_per_gate",   "bytes_per_fault"};
+  for (const char* name : kScalars) {
+    const JsonValue* v = mem->find(name);
+    if (v == nullptr || !v->is_number()) continue;
+    out << "<tr><td>" << name << "</td><td>" << num(v->number);
+    if (std::string(name).find("bytes") != std::string::npos &&
+        std::string(name) != "bytes_per_gate" &&
+        std::string(name) != "bytes_per_fault") {
+      out << " (" << bytes_human(v->number) << ")";
+    }
+    out << "</td></tr>\n";
+  }
+  out << "</table>\n";
+
+  const JsonValue* footprints = mem->find("footprints");
+  if (footprints != nullptr && footprints->is_object() &&
+      !footprints->object.empty()) {
+    double max_bytes = 0.0;
+    for (const auto& [name, value] : footprints->object) {
+      if (value.is_number()) max_bytes = std::max(max_bytes, value.number);
+    }
+    out << "<h3>Structure footprints</h3>\n<table>"
+           "<tr><th>structure</th><th>bytes</th><th></th></tr>\n";
+    for (const auto& [name, value] : footprints->object) {
+      if (value.is_number()) html_bar_row(name, value.number, max_bytes, out);
+    }
+    out << "</table>\n";
+  }
+
+  const JsonValue* phases = report.find("phases");
+  if (phases != nullptr && phases->is_array() && !phases->array.empty()) {
+    double max_delta = 0.0;
+    for (const JsonValue& p : phases->array) {
+      if (const JsonValue* d = p.find("rss_delta_bytes")) {
+        max_delta = std::max(max_delta, std::abs(d->as_number()));
+      }
+    }
+    if (max_delta > 0.0) {
+      out << "<h3>Per-phase RSS delta</h3>\n<table>"
+             "<tr><th>phase</th><th>delta</th><th></th></tr>\n";
+      for (const JsonValue& p : phases->array) {
+        const JsonValue* d = p.find("rss_delta_bytes");
+        if (d == nullptr) continue;
+        const std::string name = p.find("name") != nullptr
+                                     ? p.find("name")->as_string("")
+                                     : "";
+        html_bar_row(name, d->as_number(), max_delta, out);
+      }
+      out << "</table>\n";
+    }
+  }
+}
+
 void html_phases(const JsonValue* phases, int depth, std::ostringstream& out) {
   if (phases == nullptr || !phases->is_array()) return;
   for (const JsonValue& p : phases->array) {
@@ -233,6 +331,35 @@ DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
     }
   }
 
+  const double rss_before = memory_value(baseline, "peak_rss_bytes");
+  const double rss_after = memory_value(current, "peak_rss_bytes");
+  summary << "peak_rss_bytes: " << num(rss_before) << " -> " << num(rss_after)
+          << "\n";
+  if (thresholds.max_peak_rss_increase_percent >= 0.0 && rss_before > 0.0) {
+    const double increase = (rss_after - rss_before) / rss_before * 100.0;
+    if (increase > thresholds.max_peak_rss_increase_percent) {
+      result.violations.push_back(
+          "peak RSS grew " + num(increase) + "% (" + num(rss_before) +
+          " -> " + num(rss_after) + " bytes), allowed " +
+          num(thresholds.max_peak_rss_increase_percent) + "%");
+    }
+  }
+
+  const double bpg_before = memory_value(baseline, "bytes_per_gate");
+  const double bpg_after = memory_value(current, "bytes_per_gate");
+  summary << "bytes_per_gate: " << num(bpg_before) << " -> " << num(bpg_after)
+          << "\n";
+  if (thresholds.max_bytes_per_gate_increase_percent >= 0.0 &&
+      bpg_before > 0.0) {
+    const double increase = (bpg_after - bpg_before) / bpg_before * 100.0;
+    if (increase > thresholds.max_bytes_per_gate_increase_percent) {
+      result.violations.push_back(
+          "bytes per gate grew " + num(increase) + "% (" + num(bpg_before) +
+          " -> " + num(bpg_after) + "), allowed " +
+          num(thresholds.max_bytes_per_gate_increase_percent) + "%");
+    }
+  }
+
   summary << "changed metrics:\n";
   append_metric_deltas(baseline, current, "gauges", summary);
   append_metric_deltas(baseline, current, "counters", summary);
@@ -261,6 +388,9 @@ std::string render_html_dashboard(const JsonValue& report,
          "color: #222; max-width: 960px; }\n"
          "h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; "
          "border-bottom: 1px solid #ddd; padding-bottom: 4px; }\n"
+         "h3 { font-size: 14px; margin: 14px 0 4px; }\n"
+         ".barcell { min-width: 220px; }\n"
+         ".bar { background: #0a6; height: 10px; border-radius: 2px; }\n"
          "table { border-collapse: collapse; margin: 8px 0; }\n"
          "th, td { border: 1px solid #ddd; padding: 3px 10px; "
          "text-align: left; font-variant-numeric: tabular-nums; }\n"
@@ -289,6 +419,9 @@ std::string render_html_dashboard(const JsonValue& report,
   const JsonValue* analytics = report.find("analytics");
   html_kv_table(analytics != nullptr ? analytics->find("speculation") : nullptr,
                 out);
+
+  out << "<h2>Memory</h2>\n";
+  html_memory_panel(report, out);
 
   out << "<h2>Gauges</h2>\n";
   html_kv_table(report.find("gauges"), out);

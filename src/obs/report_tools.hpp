@@ -24,6 +24,13 @@ struct DiffThresholds {
   /// baseline. Disabled by default: wall time is machine-dependent, so CI
   /// gates only the deterministic quantities unless explicitly asked.
   double max_walltime_increase_percent = -1.0;
+  /// Max allowed increase in memory.peak_rss_bytes, in percent of baseline.
+  /// Disabled by default: RSS depends on the allocator and the machine.
+  double max_peak_rss_increase_percent = -1.0;
+  /// Max allowed increase in memory.bytes_per_gate, in percent of baseline.
+  /// Disabled by default; bytes_per_gate is derived from deterministic
+  /// content-byte footprints, so a tight gate (~10%) is safe to opt into.
+  double max_bytes_per_gate_increase_percent = -1.0;
 };
 
 struct DiffResult {

@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "obs/event_journal.hpp"
+#include "obs/instrument.hpp"
 
 #ifndef FBT_GIT_SHA
 #define FBT_GIT_SHA "unknown"
@@ -39,7 +40,11 @@ void render_phase(const PhaseSummary& p, int indent, std::string& out) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   out += pad + "{\"name\": \"" + json_escape(p.name) + "\", \"count\": " +
          fmt("%" PRIu64, p.count) + ", \"total_ms\": " + ms_number(p.total_ms) +
-         ", \"self_ms\": " + ms_number(p.self_ms) + ", \"children\": [";
+         ", \"self_ms\": " + ms_number(p.self_ms) +
+         ", \"rss_delta_bytes\": " + fmt("%" PRId64, p.rss_delta_bytes) +
+         ", \"alloc_bytes\": " + fmt("%" PRIu64, p.alloc_bytes) +
+         ", \"alloc_count\": " + fmt("%" PRIu64, p.alloc_count) +
+         ", \"children\": [";
   for (std::size_t i = 0; i < p.children.size(); ++i) {
     out += i == 0 ? "\n" : ",\n";
     render_phase(p.children[i], indent + 2, out);
@@ -88,6 +93,25 @@ RunReportData collect_run_report(
   data.phases = PhaseTrace::instance().summarize();
   data.metrics = registry().snapshot();
   data.analytics = derive_analytics(journal().events(), data.metrics);
+  FBT_OBS_FOOTPRINT("obs.journal", journal().footprint_bytes());
+  FBT_OBS_FOOTPRINT("obs.phase_trace", PhaseTrace::instance().footprint_bytes());
+  data.memory = collect_memory_report();
+  // Derived structure analytics: footprint bytes per gate / per collapsed
+  // fault, when the flow published the denominators.
+  std::uint64_t footprint_total = 0;
+  for (const FootprintSample& f : data.memory.footprints) {
+    footprint_total += f.bytes;
+  }
+  for (const GaugeSample& g : data.metrics.gauges) {
+    if (g.name == "flow.num_gates" && g.value > 0.0) {
+      data.memory.bytes_per_gate =
+          static_cast<double>(footprint_total) / g.value;
+    }
+    if (g.name == "flow.num_faults" && g.value > 0.0) {
+      data.memory.bytes_per_fault =
+          static_cast<double>(footprint_total) / g.value;
+    }
+  }
   return data;
 }
 
@@ -178,6 +202,26 @@ std::string render_run_report(const RunReportData& data) {
              ", \"lanes_evaluated\": %" PRIu64 ", \"hits\": %" PRIu64
              ", \"wasted\": %" PRIu64 "}\n",
              sp.batches, sp.lanes_evaluated, sp.hits, sp.wasted);
+  out += "  },\n";
+
+  const MemoryReport& mem = data.memory;
+  out += "  \"memory\": {\n";
+  out += fmt("    \"peak_rss_bytes\": %" PRIu64 ",\n", mem.peak_rss_bytes);
+  out += fmt("    \"current_rss_bytes\": %" PRIu64 ",\n",
+             mem.current_rss_bytes);
+  out += fmt("    \"allocated_bytes\": %" PRIu64 ",\n", mem.allocated_bytes);
+  out += fmt("    \"allocation_count\": %" PRIu64 ",\n", mem.allocation_count);
+  out += "    \"footprints\": {";
+  first = true;
+  for (const FootprintSample& f : mem.footprints) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "      \"" + json_escape(f.name) + "\": " +
+           fmt("%" PRIu64, f.bytes);
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"bytes_per_gate\": " + json_number(mem.bytes_per_gate) + ",\n";
+  out += "    \"bytes_per_fault\": " + json_number(mem.bytes_per_fault) + "\n";
   out += "  }\n";
 
   out += "}\n";

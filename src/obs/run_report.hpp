@@ -5,17 +5,19 @@
 // perf trajectory is diffable across PRs (`tools/fbt_report diff` gates CI
 // on them).
 //
-// Schema (version 2) -- keys are emitted in this fixed order, metric and
+// Schema (version 3) -- keys are emitted in this fixed order, metric and
 // config keys sorted by name, so reports diff cleanly:
 //
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "tool": "bench_table4_1",
 //     "git_sha": "abc1234",
 //     "timestamp_utc": "2026-08-05T12:00:00Z",
 //     "config": {"target": "spi", ...},
 //     "phases": [{"name": "calibrate", "count": 1, "total_ms": 12.345,
-//                 "self_ms": 12.345, "children": [...]}, ...],
+//                 "self_ms": 12.345, "rss_delta_bytes": 262144,
+//                 "alloc_bytes": 106496, "alloc_count": 2,
+//                 "children": [...]}, ...],
 //     "counters": {"bist.lfsr_cycles": 4096, ...},
 //     "gauges": {"flow.fault_coverage_percent": 91.2, ...},
 //     "histograms": {"fault.grade_duration_ms":
@@ -27,12 +29,26 @@
 //                          "tests": 100, "newly_detected": 42,
 //                          "peak_swa": 12.5}, ...],
 //       "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3,
-//                       "wasted": 10}}
+//                       "wasted": 10}},
+//     "memory": {
+//       "peak_rss_bytes": 104857600,
+//       "current_rss_bytes": 94371840,
+//       "allocated_bytes": 1048576,
+//       "allocation_count": 12,
+//       "footprints": {"fault_list": 106496, "netlist": 5242880, ...},
+//       "bytes_per_gate": 123.4,
+//       "bytes_per_fault": 56.7}
 //   }
 //
 // Version history: v1 (PR 1) had neither "analytics" nor the histogram
-// mean/p50/p90 summary values. Histogram summaries are guarded: a histogram
-// with no samples renders mean/p50/p90 as 0, never NaN.
+// mean/p50/p90 summary values; v2 (PR 5) added them; v3 adds the "memory"
+// section and the per-phase rss_delta_bytes / alloc_bytes / alloc_count
+// fields. Consumers must tolerate a missing "memory" section (v2 reports
+// remain renderable and diffable; absent memory quantities diff as 0).
+// Histogram summaries are guarded: a histogram with no samples renders
+// mean/p50/p90 as 0, never NaN. bytes_per_gate / bytes_per_fault divide the
+// footprint total by the flow.num_gates / flow.num_faults gauges (0 when the
+// gauge is unset).
 #pragma once
 
 #include <map>
@@ -42,13 +58,14 @@
 #include "obs/analytics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/resource.hpp"
 
 namespace fbt::obs {
 
 /// Everything that goes into one report. Fields are plain data so tests can
 /// build a fixed instance and pin the rendered bytes.
 struct RunReportData {
-  int schema_version = 2;
+  int schema_version = 3;
   std::string tool;
   std::string git_sha;
   std::string timestamp_utc;
@@ -56,6 +73,7 @@ struct RunReportData {
   std::vector<PhaseSummary> phases;
   MetricsSnapshot metrics;
   RunAnalytics analytics;
+  MemoryReport memory;
 };
 
 /// Fills a report from the process-wide state: git SHA baked in at build

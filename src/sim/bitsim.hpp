@@ -46,6 +46,20 @@ class BitSim {
   /// fault-free value.
   std::uint64_t fault_propagate(NodeId site, std::uint64_t faulty_word);
 
+  /// Bytes owned by the value/scratch arrays (resource telemetry).
+  std::uint64_t footprint_bytes() const {
+    std::uint64_t bytes =
+        sizeof(*this) +
+        (values_.size() + faulty_.size()) * sizeof(std::uint64_t) +
+        (stamp_.size() + queued_stamp_.size()) * sizeof(std::uint32_t) +
+        observe_.size() * sizeof(std::uint8_t) +
+        level_queue_.size() * sizeof(std::vector<NodeId>);
+    for (const std::vector<NodeId>& q : level_queue_) {
+      bytes += q.size() * sizeof(NodeId);
+    }
+    return bytes;
+  }
+
  private:
   std::uint64_t faulty_value(NodeId id) const {
     return stamp_[id] == current_stamp_ ? faulty_[id] : values_[id];

@@ -54,6 +54,15 @@ class PackedSeqSim {
   bool have_prev() const { return have_prev_; }
   std::size_t num_lines() const { return netlist_->num_lines(); }
 
+  /// Bytes owned by the flattened fanin view and packed lane words
+  /// (resource telemetry).
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) - sizeof(flat_) + flat_.footprint_bytes() +
+           (values_.size() + prev_values_.size() + state_.size() +
+            planes_.size()) *
+               sizeof(std::uint64_t);
+  }
+
  private:
   const Netlist* netlist_;
   FlatFanins flat_;

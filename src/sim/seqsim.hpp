@@ -81,6 +81,14 @@ class SeqSim {
   void snapshot_into(Snapshot& out) const;
   void restore(const Snapshot& snap);
 
+  /// Bytes owned by the flattened fanin view and value/state arrays
+  /// (resource telemetry).
+  std::uint64_t footprint_bytes() const {
+    return sizeof(*this) - sizeof(flat_) + flat_.footprint_bytes() +
+           (values_.size() + prev_values_.size() + state_.size()) *
+               sizeof(std::uint8_t);
+  }
+
  private:
   const Netlist* netlist_;
   FlatFanins flat_;

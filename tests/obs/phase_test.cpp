@@ -82,6 +82,40 @@ TEST(SummarizePhases, MergesSameNameSiblings) {
   EXPECT_DOUBLE_EQ(summary[0].children[0].total_ms, 6.0);
 }
 
+TEST(PhaseSpan, RecordsRssAtOpenAndClose) {
+  PhaseTrace& trace = PhaseTrace::instance();
+  trace.clear();
+  { PhaseSpan span("rss_probe"); }
+  const std::vector<PhaseNode> roots = trace.roots();
+  ASSERT_EQ(roots.size(), 1u);
+#if defined(__linux__)
+  // The sampler reads /proc on Linux; a live process always has nonzero RSS.
+  EXPECT_GT(roots[0].rss_open_bytes, 0u);
+  EXPECT_GT(roots[0].rss_close_bytes, 0u);
+#endif
+  trace.clear();
+}
+
+TEST(SummarizePhases, AggregatesRssDeltaAndAllocationCharges) {
+  PhaseNode a;
+  a.name = "grade";
+  a.rss_open_bytes = 1000;
+  a.rss_close_bytes = 4000;
+  a.alloc_bytes = 256;
+  a.alloc_count = 2;
+  PhaseNode b = a;
+  b.rss_open_bytes = 4000;
+  b.rss_close_bytes = 3000;  // shrank: negative delta sums in
+  b.alloc_bytes = 64;
+  b.alloc_count = 1;
+  const std::vector<PhaseSummary> summary = summarize_phases({a, b});
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].count, 2u);
+  EXPECT_EQ(summary[0].rss_delta_bytes, 3000 - 1000);
+  EXPECT_EQ(summary[0].alloc_bytes, 320u);
+  EXPECT_EQ(summary[0].alloc_count, 3u);
+}
+
 TEST(PhaseTrace, TreeStringShowsNestingAndAggregation) {
   PhaseTrace& trace = PhaseTrace::instance();
   trace.clear();

@@ -140,6 +140,81 @@ TEST(DiffRunReports, SummaryListsChangedMetrics) {
             std::string::npos);
 }
 
+/// Schema-v3 report with a memory section. bytes_per_gate is the gated
+/// deterministic quantity; peak_rss the opt-in machine-dependent one.
+std::string report_json_v3(double peak_rss, double bytes_per_gate) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      R"({
+  "schema_version": 3,
+  "tool": "bench_scale",
+  "git_sha": "abc1234",
+  "timestamp_utc": "2026-01-01T00:00:00Z",
+  "config": {},
+  "phases": [{"name": "scale", "count": 4, "total_ms": 100.0, "self_ms": 1.0, "rss_delta_bytes": 1048576, "alloc_bytes": 2048, "alloc_count": 2, "children": []}],
+  "counters": {},
+  "gauges": {"flow.fault_coverage_percent": 91.25, "flow.num_tests": 500},
+  "histograms": {},
+  "analytics": {"convergence": [], "segment_yield": [], "speculation": {"batches": 0, "lanes_evaluated": 0, "hits": 0, "wasted": 0}},
+  "memory": {
+    "peak_rss_bytes": %.6g,
+    "current_rss_bytes": 100000,
+    "allocated_bytes": 5000,
+    "allocation_count": 3,
+    "footprints": {"netlist": 2000000, "fault_list": 500000},
+    "bytes_per_gate": %.6g,
+    "bytes_per_fault": 40.0
+  }
+})",
+      peak_rss, bytes_per_gate);
+  return buf;
+}
+
+TEST(DiffRunReports, MemoryGatesAreOptIn) {
+  const JsonValue base = parse_or_die(report_json_v3(1e8, 100.0));
+  // +20% bytes-per-gate and 3x peak RSS: passes with default thresholds.
+  const JsonValue cur = parse_or_die(report_json_v3(3e8, 120.0));
+  EXPECT_FALSE(diff_run_reports(base, cur, DiffThresholds{}).regression);
+}
+
+TEST(DiffRunReports, FlagsBytesPerGateGrowth) {
+  const JsonValue base = parse_or_die(report_json_v3(1e8, 100.0));
+  const JsonValue cur = parse_or_die(report_json_v3(1e8, 120.0));
+  DiffThresholds gated;
+  gated.max_bytes_per_gate_increase_percent = 10.0;
+  const DiffResult result = diff_run_reports(base, cur, gated);
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("bytes per gate"), std::string::npos);
+  // Within threshold: +8% passes at the 10% gate.
+  const JsonValue ok = parse_or_die(report_json_v3(1e8, 108.0));
+  EXPECT_FALSE(diff_run_reports(base, ok, gated).regression);
+}
+
+TEST(DiffRunReports, FlagsPeakRssGrowth) {
+  const JsonValue base = parse_or_die(report_json_v3(1e8, 100.0));
+  const JsonValue cur = parse_or_die(report_json_v3(2.5e8, 100.0));
+  DiffThresholds gated;
+  gated.max_peak_rss_increase_percent = 100.0;
+  const DiffResult result = diff_run_reports(base, cur, gated);
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("peak RSS"), std::string::npos);
+}
+
+TEST(DiffRunReports, SchemaV2ReportsDiffWithoutMemorySection) {
+  // A v2 baseline has no "memory" section: reads as 0, never crashes, and
+  // with the gates enabled a 0 baseline cannot regress (division guard).
+  const JsonValue base = parse_or_die(report_json(91.25, 500, 10.0));
+  const JsonValue cur = parse_or_die(report_json_v3(1e8, 120.0));
+  DiffThresholds gated;
+  gated.max_bytes_per_gate_increase_percent = 10.0;
+  gated.max_peak_rss_increase_percent = 100.0;
+  const DiffResult result = diff_run_reports(base, cur, gated);
+  EXPECT_FALSE(result.regression);
+  EXPECT_NE(result.summary_text.find("peak_rss_bytes: 0 ->"),
+            std::string::npos);
+}
+
 TEST(RenderHtmlDashboard, ProducesSelfContainedPage) {
   const JsonValue report = parse_or_die(report_json(91.25, 500, 10.0));
   const std::string html = render_html_dashboard(
@@ -170,6 +245,25 @@ TEST(RenderHtmlDashboard, RoundTripsRealCollectedReport) {
   const std::string html = render_html_dashboard(report, "");
   EXPECT_NE(html.find("dashboard_smoke"), std::string::npos);
   EXPECT_NE(html.find("bist.lfsr_cycles"), std::string::npos);
+  EXPECT_NE(html.find("<h2>Memory</h2>"), std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, MemoryPanelRendersFootprintsAndPhaseDeltas) {
+  const JsonValue report = parse_or_die(report_json_v3(1e8, 100.0));
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_NE(html.find("peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(html.find("Structure footprints"), std::string::npos);
+  EXPECT_NE(html.find("Per-phase RSS delta"), std::string::npos);
+  EXPECT_NE(html.find("class=\"bar\""), std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, SchemaV2ReportStillRenders) {
+  // v2 reports have no memory section; the panel degrades to a note and the
+  // rest of the page is unaffected.
+  const JsonValue report = parse_or_die(report_json(91.25, 500, 10.0));
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_NE(html.find("no memory data (schema v2 report)"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
 }
 
 }  // namespace

@@ -125,8 +125,8 @@ RunReportData golden_data() {
   data.git_sha = "abc1234";
   data.timestamp_utc = "2026-01-01T00:00:00Z";
   data.config = {{"target", "spi"}, {"driver", "wb_dma"}};
-  PhaseSummary grade{"grade", 3, 6.0, 6.0, {}};
-  PhaseSummary construct{"construct", 1, 10.0, 4.0, {grade}};
+  PhaseSummary grade{"grade", 3, 6.0, 6.0, -4096, 2048, 2, {}};
+  PhaseSummary construct{"construct", 1, 10.0, 4.0, 1048576, 4096, 1, {grade}};
   data.phases = {construct};
   data.metrics.counters = {{"bist.lfsr_cycles", 4096},
                            {"sim.seqsim_gates_evaluated", 123456}};
@@ -136,6 +136,13 @@ RunReportData golden_data() {
   data.analytics.convergence = {{64, 300}, {128, 321}};
   data.analytics.segment_yield = {{0, 0, 123, 100, 42, 12.5}};
   data.analytics.speculation = {1, 64, 3, 10};
+  data.memory.peak_rss_bytes = 50331648;
+  data.memory.current_rss_bytes = 33554432;
+  data.memory.allocated_bytes = 6144;
+  data.memory.allocation_count = 3;
+  data.memory.footprints = {{"fault_list", 500000}, {"netlist", 2000000}};
+  data.memory.bytes_per_gate = 123.456;
+  data.memory.bytes_per_fault = 41.5;
   return data;
 }
 
@@ -144,8 +151,10 @@ RunReportData golden_data() {
 // v2 added the "analytics" section and the histogram mean/p50/p90 summary
 // values (p50 of the golden histogram: rank 1.5 falls 3/4 into the [0, 1]
 // bucket; p90: rank 2.7 falls 7/10 into the [1, 10] bucket).
+// v3 added the per-phase rss_delta_bytes/alloc_bytes/alloc_count fields and
+// the trailing "memory" section (resource telemetry).
 constexpr const char* kGoldenReport = R"({
-  "schema_version": 2,
+  "schema_version": 3,
   "tool": "golden_tool",
   "git_sha": "abc1234",
   "timestamp_utc": "2026-01-01T00:00:00Z",
@@ -154,8 +163,8 @@ constexpr const char* kGoldenReport = R"({
     "target": "spi"
   },
   "phases": [
-    {"name": "construct", "count": 1, "total_ms": 10.000, "self_ms": 4.000, "children": [
-      {"name": "grade", "count": 3, "total_ms": 6.000, "self_ms": 6.000, "children": []}
+    {"name": "construct", "count": 1, "total_ms": 10.000, "self_ms": 4.000, "rss_delta_bytes": 1048576, "alloc_bytes": 4096, "alloc_count": 1, "children": [
+      {"name": "grade", "count": 3, "total_ms": 6.000, "self_ms": 6.000, "rss_delta_bytes": -4096, "alloc_bytes": 2048, "alloc_count": 2, "children": []}
     ]}
   ],
   "counters": {
@@ -174,6 +183,18 @@ constexpr const char* kGoldenReport = R"({
       {"sequence": 0, "segment": 0, "seed": 123, "tests": 100, "newly_detected": 42, "peak_swa": 12.5}
     ],
     "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3, "wasted": 10}
+  },
+  "memory": {
+    "peak_rss_bytes": 50331648,
+    "current_rss_bytes": 33554432,
+    "allocated_bytes": 6144,
+    "allocation_count": 3,
+    "footprints": {
+      "fault_list": 500000,
+      "netlist": 2000000
+    },
+    "bytes_per_gate": 123.456,
+    "bytes_per_fault": 41.5
   }
 }
 )";
@@ -189,7 +210,7 @@ TEST(RunReport, GoldenIsWellFormedJsonWithStableKeyOrder) {
   EXPECT_EQ(keys, (std::vector<std::string>{
                       "schema_version", "tool", "git_sha", "timestamp_utc",
                       "config", "phases", "counters", "gauges", "histograms",
-                      "analytics"}));
+                      "analytics", "memory"}));
 }
 
 TEST(RunReport, EmptyReportIsStillValidJson) {
@@ -198,7 +219,7 @@ TEST(RunReport, EmptyReportIsStillValidJson) {
   std::vector<std::string> keys;
   MiniJsonParser parser(render_run_report(data));
   ASSERT_TRUE(parser.parse(&keys));
-  EXPECT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.size(), 11u);
 }
 
 TEST(RunReport, EmptyHistogramRendersZeroSummariesNotNan) {
@@ -233,6 +254,14 @@ TEST(RunReport, CollectedReportIsValidAndCarriesCoreCounters) {
   EXPECT_NE(body.find("\"bist.lfsr_cycles\""), std::string::npos);
   EXPECT_NE(body.find("\"atpg.podem_backtracks\""), std::string::npos);
   EXPECT_NE(body.find("\"flow.faults_detected\""), std::string::npos);
+  // Every collected report carries the v3 memory section; on Linux the RSS
+  // sampler reads /proc and the values are nonzero.
+  EXPECT_NE(body.find("\"memory\""), std::string::npos);
+  EXPECT_NE(body.find("\"peak_rss_bytes\""), std::string::npos);
+#if defined(__linux__)
+  EXPECT_GT(data.memory.peak_rss_bytes, 0u);
+  EXPECT_GT(data.memory.current_rss_bytes, 0u);
+#endif
 }
 
 TEST(RunReport, RoundTripsThroughDisk) {

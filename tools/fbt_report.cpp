@@ -6,10 +6,13 @@
 //
 //   fbt_report diff <baseline.json> <current.json>
 //              [--max-coverage-drop <pts>] [--max-tests-increase <pct>]
-//              [--max-walltime-increase <pct>]
+//              [--max-walltime-increase <pct>] [--max-peak-rss-increase <pct>]
+//              [--max-bytes-per-gate-increase <pct>]
 //       Compares two run reports and exits nonzero when the current report
 //       regresses past a threshold. Negative threshold disables the check;
-//       walltime gating is off unless requested (machine-dependent).
+//       walltime and memory gating are off unless requested (walltime and
+//       peak RSS are machine-dependent; bytes-per-gate is deterministic and
+//       safe to gate tightly).
 //
 // Exit codes: 0 ok, 1 regression detected, 2 usage or I/O error.
 #include <cstdio>
@@ -58,7 +61,9 @@ int usage() {
       "       fbt_report diff <baseline.json> <current.json> "
       "[--max-coverage-drop <pts>]\n"
       "                  [--max-tests-increase <pct>] "
-      "[--max-walltime-increase <pct>]\n");
+      "[--max-walltime-increase <pct>]\n"
+      "                  [--max-peak-rss-increase <pct>] "
+      "[--max-bytes-per-gate-increase <pct>]\n");
   return 2;
 }
 
@@ -97,6 +102,11 @@ int cmd_diff(const fbt::Cli& cli) {
       "max-tests-increase", thresholds.max_tests_increase_percent);
   thresholds.max_walltime_increase_percent = cli.get_double(
       "max-walltime-increase", thresholds.max_walltime_increase_percent);
+  thresholds.max_peak_rss_increase_percent = cli.get_double(
+      "max-peak-rss-increase", thresholds.max_peak_rss_increase_percent);
+  thresholds.max_bytes_per_gate_increase_percent =
+      cli.get_double("max-bytes-per-gate-increase",
+                     thresholds.max_bytes_per_gate_increase_percent);
 
   const fbt::obs::DiffResult result =
       fbt::obs::diff_run_reports(baseline, current, thresholds);
