@@ -6,10 +6,12 @@
 // platforms and safe to gate with `fbt_report diff` against the checked-in
 // baseline in bench/baselines/.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "flow/bist_flow.hpp"
 #include "obs/run_report.hpp"
+#include "serve/shutdown.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -17,6 +19,15 @@ int main(int argc, char** argv) {
   const fbt::Cli cli(argc, argv);
   const std::string target = cli.get("target", "s298");
   const std::string driver = cli.get("driver", "buffers");
+
+  // On SIGINT/SIGTERM: flush the journal + write the (partial) bench
+  // report before exiting with the conventional 128+signum status.
+  fbt::serve::GracefulShutdown shutdown([](int sig) {
+    std::fprintf(stderr, "[bench_flow_smoke] caught signal %d, flushing report\n",
+                 sig);
+    fbt::obs::write_bench_report("flow_smoke", {{"interrupted", "yes"}});
+    std::_Exit(fbt::serve::GracefulShutdown::exit_status(sig));
+  });
 
   fbt::BistExperimentConfig cfg;
   cfg.target_name = target;

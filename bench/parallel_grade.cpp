@@ -10,6 +10,7 @@
 // speedups over serial.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "obs/instrument.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "serve/shutdown.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -53,6 +55,15 @@ int main(int argc, char** argv) {
   const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
   constexpr std::uint32_t kNoDrop = 1u << 30;  // keep every fault active
 
+  // On SIGINT/SIGTERM: flush the journal + write the (partial) bench
+  // report before exiting with the conventional 128+signum status.
+  fbt::serve::GracefulShutdown shutdown([](int sig) {
+    std::fprintf(stderr, "[bench_parallel_grade] caught signal %d, flushing report\n",
+                 sig);
+    fbt::obs::write_bench_report("parallel_grade", {{"interrupted", "yes"}});
+    std::_Exit(fbt::serve::GracefulShutdown::exit_status(sig));
+  });
+
   fbt::Timer total;
   const fbt::Netlist nl = fbt::load_benchmark(target_name);
   const fbt::TransitionFaultList faults =
@@ -62,7 +73,7 @@ int main(int argc, char** argv) {
   std::printf("[bench_parallel_grade] target=%s tests=%zu faults=%zu "
               "hw_threads=%zu\n",
               target_name.c_str(), tests.size(), faults.size(),
-              fbt::ThreadPool::resolve_threads(0));
+              fbt::jobs::JobSystem::resolve_threads(0));
 
   // Serial reference: best of `repeats`.
   fbt::BroadsideFaultSim serial(nl);
@@ -84,7 +95,7 @@ int main(int argc, char** argv) {
   table.add_row({"serial", fbt::Table::num(serial_ms, 2), "1.00", "ref"});
 
   std::vector<std::size_t> configs = {2, 4};
-  const std::size_t hw = fbt::ThreadPool::resolve_threads(0);
+  const std::size_t hw = fbt::jobs::JobSystem::resolve_threads(0);
   if (std::find(configs.begin(), configs.end(), hw) == configs.end()) {
     configs.push_back(hw);
   }

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "obs/resource.hpp"
 #include "obs/run_report.hpp"
 #include "sim/bitsim.hpp"
+#include "serve/shutdown.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -79,6 +81,15 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("fault-cap", 2000));
   const auto sim_cycles = static_cast<std::size_t>(cli.get_int("cycles", 16));
   constexpr std::uint64_t kSeed = 0x5ca1ab1eULL;
+
+  // On SIGINT/SIGTERM: flush the journal + write the (partial) bench
+  // report before exiting with the conventional 128+signum status.
+  fbt::serve::GracefulShutdown shutdown([](int sig) {
+    std::fprintf(stderr, "[bench_scale] caught signal %d, flushing report\n",
+                 sig);
+    fbt::obs::write_bench_report("scale", {{"interrupted", "yes"}});
+    std::_Exit(fbt::serve::GracefulShutdown::exit_status(sig));
+  });
 
   const std::vector<std::size_t> sizes = parse_sizes(sizes_spec);
   if (sizes.empty()) {

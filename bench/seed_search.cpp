@@ -9,6 +9,7 @@
 // identity, then compares full end-to-end construction runs at
 // speculation_lanes=1 vs 64. Writes BENCH_seed_search.json.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "sim/seqsim.hpp"
+#include "serve/shutdown.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -118,6 +120,15 @@ int main(int argc, char** argv) {
   const auto num_seeds = static_cast<std::size_t>(cli.get_int("seeds", 128));
   const auto length = static_cast<std::size_t>(cli.get_int("length", 256));
   const auto repeats = static_cast<std::size_t>(cli.get_int("repeats", 3));
+
+  // On SIGINT/SIGTERM: flush the journal + write the (partial) bench
+  // report before exiting with the conventional 128+signum status.
+  fbt::serve::GracefulShutdown shutdown([](int sig) {
+    std::fprintf(stderr, "[bench_seed_search] caught signal %d, flushing report\n",
+                 sig);
+    fbt::obs::write_bench_report("seed_search", {{"interrupted", "yes"}});
+    std::_Exit(fbt::serve::GracefulShutdown::exit_status(sig));
+  });
 
   fbt::Timer total;
   const fbt::Netlist nl = fbt::load_benchmark(target_name);

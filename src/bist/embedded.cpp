@@ -11,9 +11,10 @@ namespace fbt {
 
 namespace {
 
-FunctionalProfile run_calibration(const Netlist& target, const Netlist& driver,
-                                  const SwaCalibrationConfig& config,
-                                  TransitionPatternStore* store) {
+FunctionalProfile run_calibration(
+    const Netlist& target, const Netlist& driver,
+    const SwaCalibrationConfig& config, TransitionPatternStore* store,
+    std::shared_ptr<const FlatFanins> target_flat = nullptr) {
   require(driver.num_outputs() >= target.num_inputs(), "measure_swa_func",
           "driving block has fewer outputs than the target has inputs");
   require(config.num_sequences >= 1 && config.sequence_length >= 2,
@@ -22,7 +23,9 @@ FunctionalProfile run_calibration(const Netlist& target, const Netlist& driver,
 
   Tpg tpg(driver, config.tpg);
   SeqSim driver_sim(driver);
-  SeqSim target_sim(target);
+  SeqSim target_sim = target_flat != nullptr
+                          ? SeqSim(target, std::move(target_flat))
+                          : SeqSim(target);
   Pcg32 rng(config.rng_seed, 0x6a09e667f3bcc909ULL);
 
   FunctionalProfile profile;
@@ -52,9 +55,13 @@ FunctionalProfile run_calibration(const Netlist& target, const Netlist& driver,
 
 }  // namespace
 
-SwaCalibration measure_swa_func(const Netlist& target, const Netlist& driver,
-                                const SwaCalibrationConfig& config) {
-  return {run_calibration(target, driver, config, nullptr).peak_percent};
+SwaCalibration measure_swa_func(
+    const Netlist& target, const Netlist& driver,
+    const SwaCalibrationConfig& config,
+    std::shared_ptr<const FlatFanins> target_flat) {
+  return {run_calibration(target, driver, config, nullptr,
+                          std::move(target_flat))
+              .peak_percent};
 }
 
 FunctionalProfile measure_functional_profile(const Netlist& target,

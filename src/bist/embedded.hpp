@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "bist/signal_transitions.hpp"
 #include "bist/tpg.hpp"
@@ -32,8 +33,13 @@ struct SwaCalibration {
 /// driver -> target and returns the peak switching activity observed in the
 /// target. Requires driver.num_outputs() >= target.num_inputs(); the first
 /// num_inputs() driver outputs feed the target's inputs in order.
-SwaCalibration measure_swa_func(const Netlist& target, const Netlist& driver,
-                                const SwaCalibrationConfig& config);
+/// `target_flat` (optional) shares a pre-built FlatFanins CSR of `target`
+/// with the internal simulator (the serving cache's copy); nullptr rebuilds
+/// one. It never changes the measured value.
+SwaCalibration measure_swa_func(
+    const Netlist& target, const Netlist& driver,
+    const SwaCalibrationConfig& config,
+    std::shared_ptr<const class FlatFanins> target_flat = nullptr);
 
 /// Full functional profile: the SWA peak plus the store of observed signal-
 /// transition patterns (§5.1, consumed by the pattern-bound generation mode).

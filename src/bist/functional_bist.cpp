@@ -12,8 +12,15 @@ namespace fbt {
 
 FunctionalBistGenerator::FunctionalBistGenerator(
     const Netlist& netlist, const FunctionalBistConfig& config)
+    : FunctionalBistGenerator(netlist, config, nullptr, nullptr) {}
+
+FunctionalBistGenerator::FunctionalBistGenerator(
+    const Netlist& netlist, const FunctionalBistConfig& config,
+    std::shared_ptr<const FlatFanins> flat, jobs::JobSystem* jobs)
     : netlist_(&netlist),
       config_(config),
+      flat_(std::move(flat)),
+      jobs_(jobs),
       tpg_(netlist, config.tpg),
       rng_(config.rng_seed, 0xb5ad4eceda1ce2a9ULL) {
   require(config.segment_length >= 2 && config.segment_length % 2 == 0,
@@ -139,8 +146,8 @@ FunctionalBistResult FunctionalBistGenerator::run(
 
   FunctionalBistResult result;
   result.first_detect.assign(faults.size(), FaultFirstDetect{});
-  ParallelBroadsideFaultSim fsim(*netlist_, config_.num_threads);
-  SeqSim sim(*netlist_);
+  ParallelBroadsideFaultSim fsim(*netlist_, config_.num_threads, jobs_);
+  SeqSim sim = flat_ != nullptr ? SeqSim(*netlist_, flat_) : SeqSim(*netlist_);
 
   // Provenance bookkeeping: applied-test stream position and the running
   // detected-fault count (faults at the detect limit), both advanced only by

@@ -24,6 +24,8 @@
 #include "bist/tpg.hpp"
 #include "fault/broadside_test.hpp"
 #include "fault/fault.hpp"
+#include "jobs/job_system.hpp"
+#include "netlist/flat_fanins.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/seqsim.hpp"
 #include "util/rng.hpp"
@@ -122,6 +124,14 @@ class FunctionalBistGenerator {
  public:
   FunctionalBistGenerator(const Netlist& netlist,
                           const FunctionalBistConfig& config);
+
+  /// Serving-path constructor: shares a pre-built FlatFanins CSR of
+  /// `netlist` with the internal simulator (nullptr rebuilds one) and runs
+  /// fault grading on `jobs` (nullptr selects the process-wide pool).
+  FunctionalBistGenerator(const Netlist& netlist,
+                          const FunctionalBistConfig& config,
+                          std::shared_ptr<const FlatFanins> flat,
+                          jobs::JobSystem* jobs);
   ~FunctionalBistGenerator();
 
   const Tpg& tpg() const { return tpg_; }
@@ -152,6 +162,8 @@ class FunctionalBistGenerator {
 
   const Netlist* netlist_;
   FunctionalBistConfig config_;
+  std::shared_ptr<const FlatFanins> flat_;  ///< shared CSR; may be null
+  jobs::JobSystem* jobs_ = nullptr;         ///< grading substrate; may be null
   Tpg tpg_;
   Pcg32 rng_;
   std::vector<std::uint8_t> hold_mask_;  ///< per flop; empty when no holding

@@ -22,6 +22,7 @@
 
 #include "fault/broadside_test.hpp"
 #include "fault/fault.hpp"
+#include "jobs/job_system.hpp"
 
 namespace fbt {
 
@@ -33,7 +34,8 @@ using PerTestFaults = std::vector<std::vector<std::uint32_t>>;
 /// worker pool; the result is bit-identical for any thread count.
 PerTestFaults detected_by_test(const Netlist& netlist, const TestSet& tests,
                                const TransitionFaultList& faults,
-                               std::size_t num_threads = 1);
+                               std::size_t num_threads = 1,
+                               jobs::JobSystem* jobs = nullptr);
 
 /// Indices (into the original set) of the kept tests, ascending.
 std::vector<std::size_t> reverse_order_compaction(
@@ -59,7 +61,8 @@ std::vector<std::size_t> reduce_groups(const Netlist& netlist,
                                        const TransitionFaultList& faults,
                                        const std::vector<std::size_t>& group_of,
                                        std::size_t num_groups,
-                                       std::size_t num_threads = 1);
+                                       std::size_t num_threads = 1,
+                                       jobs::JobSystem* jobs = nullptr);
 std::vector<std::size_t> reduce_groups(const PerTestFaults& per_test,
                                        std::size_t num_faults,
                                        const std::vector<std::size_t>& group_of,

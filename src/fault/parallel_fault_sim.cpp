@@ -10,17 +10,20 @@
 namespace fbt {
 
 ParallelBroadsideFaultSim::ParallelBroadsideFaultSim(const Netlist& netlist,
-                                                     std::size_t num_threads)
-    : netlist_(&netlist), pool_(num_threads) {
-  shard_sims_.reserve(pool_.size());
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
+                                                     std::size_t num_threads,
+                                                     jobs::JobSystem* jobs)
+    : netlist_(&netlist),
+      jobs_(jobs != nullptr ? jobs : &jobs::global_jobs()) {
+  const std::size_t shards = jobs::JobSystem::resolve_threads(num_threads);
+  shard_sims_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
     shard_sims_.push_back(std::make_unique<BroadsideFaultSim>(netlist));
   }
 }
 
 std::vector<ParallelBroadsideFaultSim::Shard>
 ParallelBroadsideFaultSim::make_shards(std::size_t num_faults) const {
-  const std::size_t shards = pool_.size();
+  const std::size_t shards = shard_sims_.size();
   std::vector<Shard> out(shards);
   const std::size_t base = num_faults / shards;
   const std::size_t extra = num_faults % shards;
@@ -40,7 +43,7 @@ std::size_t ParallelBroadsideFaultSim::grade(
   require(detect_count.size() == faults.size(),
           "ParallelBroadsideFaultSim::grade",
           "detect_count size must equal the fault count");
-  if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
+  if (shard_sims_.size() == 1 || faults.size() < 2 * shard_sims_.size()) {
     // Too few faults to amortize the per-shard block replay. Counted so a
     // report showing parallel_shards_graded == 0 is unambiguous: fallbacks
     // fired (expected on tiny fault lists) vs. parallelism never ran.
@@ -49,12 +52,12 @@ std::size_t ParallelBroadsideFaultSim::grade(
                                  provenance);
   }
   Timer grade_timer;
-  FBT_OBS_GAUGE_SET("fault.parallel_threads", pool_.size());
+  FBT_OBS_GAUGE_SET("fault.parallel_threads", shard_sims_.size());
   const std::vector<Shard> shards = make_shards(faults.size());
   std::atomic<std::size_t> newly_complete{0};
   std::vector<GradeProvenance> shard_prov(
       provenance != nullptr ? shards.size() : 0);
-  pool_.run(shards.size(), [&](std::size_t s) {
+  jobs_->parallel_for(shards.size(), [&](std::size_t s) {
     const Shard& shard = shards[s];
     if (shard.begin == shard.end) return;
     const auto& all = faults.faults();
@@ -109,15 +112,15 @@ std::size_t ParallelBroadsideFaultSim::grade(
 std::vector<std::vector<std::uint64_t>>
 ParallelBroadsideFaultSim::detection_matrix(std::span<const BroadsideTest> tests,
                                             const TransitionFaultList& faults) {
-  if (pool_.size() == 1 || faults.size() < 2 * pool_.size()) {
+  if (shard_sims_.size() == 1 || faults.size() < 2 * shard_sims_.size()) {
     FBT_OBS_COUNTER_ADD("fault.serial_grade_fallbacks", 1);
     return shard_sims_[0]->detection_matrix(tests, faults);
   }
   Timer grade_timer;
-  FBT_OBS_GAUGE_SET("fault.parallel_threads", pool_.size());
+  FBT_OBS_GAUGE_SET("fault.parallel_threads", shard_sims_.size());
   const std::vector<Shard> shards = make_shards(faults.size());
   std::vector<std::vector<std::uint64_t>> matrix(faults.size());
-  pool_.run(shards.size(), [&](std::size_t s) {
+  jobs_->parallel_for(shards.size(), [&](std::size_t s) {
     const Shard& shard = shards[s];
     if (shard.begin == shard.end) return;
     const auto& all = faults.faults();

@@ -1,12 +1,15 @@
 // Parallel broadside transition-fault grading.
 //
-// Shards the fault list into contiguous ranges, one per thread; every worker
-// owns a private BroadsideFaultSim (its own BitSim replica) and replays the
-// same 64-test blocks over its shard only. Because detection of one fault
-// never depends on another fault's counts, merging the per-shard results
-// reproduces the serial engine bit for bit: identical detect_count vectors,
-// identical detection matrices, for any thread count. The serial engine
-// remains the reference; a pool resolved to one thread short-circuits to it.
+// Shards the fault list into contiguous ranges; every shard owns a private
+// BroadsideFaultSim (its own BitSim replica) and replays the same 64-test
+// blocks over its shard only. Shards are dispatched as tasks on a
+// work-stealing JobSystem (the process-wide pool by default), so many
+// concurrent experiments multiplex one set of threads. Because detection of
+// one fault never depends on another fault's counts, merging the per-shard
+// results by shard index reproduces the serial engine bit for bit --
+// identical detect_count vectors, identical detection matrices, for any
+// shard count and any scheduler interleaving. The serial engine remains the
+// reference; one shard short-circuits to it.
 #pragma once
 
 #include <cstdint>
@@ -15,18 +18,21 @@
 #include <vector>
 
 #include "fault/fault_sim.hpp"
-#include "util/thread_pool.hpp"
+#include "jobs/job_system.hpp"
 
 namespace fbt {
 
 class ParallelBroadsideFaultSim {
  public:
-  /// `num_threads` = 0 selects hardware_concurrency (ThreadPool's rule).
+  /// `num_threads` = 0 selects hardware_concurrency (JobSystem's rule); it
+  /// names the shard count. Execution multiplexes `jobs` (the process-wide
+  /// pool when null); `jobs` must outlive this object.
   explicit ParallelBroadsideFaultSim(const Netlist& netlist,
-                                     std::size_t num_threads = 0);
+                                     std::size_t num_threads = 0,
+                                     jobs::JobSystem* jobs = nullptr);
 
-  /// Actual worker count (>= 1) after resolving the knob.
-  std::size_t num_threads() const { return pool_.size(); }
+  /// Shard count (>= 1) after resolving the knob.
+  std::size_t num_threads() const { return shard_sims_.size(); }
 
   /// Same contract as BroadsideFaultSim::grade, bit-identical results --
   /// including `provenance`, whose per-shard pieces are merged back into the
@@ -57,8 +63,8 @@ class ParallelBroadsideFaultSim {
   std::vector<Shard> make_shards(std::size_t num_faults) const;
 
   const Netlist* netlist_;
-  ThreadPool pool_;
-  std::vector<std::unique_ptr<BroadsideFaultSim>> shard_sims_;  // per worker
+  jobs::JobSystem* jobs_;  ///< not owned; the shared execution substrate
+  std::vector<std::unique_ptr<BroadsideFaultSim>> shard_sims_;  // per shard
 };
 
 }  // namespace fbt

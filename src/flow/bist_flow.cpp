@@ -7,29 +7,72 @@
 #include "fault/compaction.hpp"
 #include "obs/instrument.hpp"
 #include "util/require.hpp"
-#include "util/thread_pool.hpp"
+#include "jobs/job_system.hpp"
 
 namespace fbt {
 
 BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
+  return run_bist_experiment(config, jobs::global_jobs(), ExperimentArtifacts{});
+}
+
+BistExperimentResult run_bist_experiment(const BistExperimentConfig& config,
+                                         jobs::JobSystem& jobs,
+                                         const ExperimentArtifacts& artifacts) {
   // Nested spans open inside the library calls: calibrate (measure_swa_func),
   // construct + grade (FunctionalBistGenerator), reduce (reduce_groups),
   // cost (plan_functional_bist_hardware).
   FBT_OBS_PHASE("bist_experiment");
-  Netlist target = load_benchmark(config.target_name);
   const bool unconstrained =
       config.driver_name.empty() || config.driver_name == "buffers";
-  Netlist driver = unconstrained ? make_buffers_block(target.num_inputs())
-                                 : load_benchmark(config.driver_name);
 
+  // Artifact stage as a task graph: the target load gates everything;
+  // driver load, CSR flattening, and fault collapsing then run in parallel,
+  // and calibration starts the moment its three inputs exist. A supplied
+  // artifact turns its task into a copy (or a no-op for the shared CSR).
+  // wait_all() helps run the tasks, so this nests safely inside a task of
+  // the same pool (the serving path).
+  Netlist target("");
+  const jobs::TaskHandle t_target = jobs.submit([&] {
+    target = artifacts.target != nullptr ? *artifacts.target
+                                         : load_benchmark(config.target_name);
+  });
+  Netlist driver("");
+  const jobs::TaskHandle t_driver = jobs.submit_after({t_target}, [&] {
+    if (artifacts.driver != nullptr) {
+      driver = *artifacts.driver;
+    } else {
+      driver = unconstrained ? make_buffers_block(target.num_inputs())
+                             : load_benchmark(config.driver_name);
+    }
+  });
+  std::shared_ptr<const FlatFanins> flat = artifacts.flat;
+  const jobs::TaskHandle t_flat = jobs.submit_after({t_target}, [&] {
+    if (flat == nullptr) flat = std::make_shared<const FlatFanins>(target);
+  });
+  TransitionFaultList faults;
+  const jobs::TaskHandle t_faults = jobs.submit_after({t_target}, [&] {
+    faults = artifacts.faults != nullptr
+                 ? *artifacts.faults
+                 : TransitionFaultList::collapsed(target);
+  });
   // Calibrate SWA_func. The TPG is built for the driving block inside
   // measure_swa_func; for the buffers block that reduces to unbiased patterns
-  // straight into the target, giving the unconstrained peak (§4.6).
-  const SwaCalibration cal =
-      measure_swa_func(target, driver, config.calibration);
+  // straight into the target, giving the unconstrained peak (§4.6). A cached
+  // calibration (keyed on netlist contents + calibration config) skips the
+  // simulation entirely.
+  double swa_func = 0.0;
+  const jobs::TaskHandle t_cal =
+      jobs.submit_after({t_target, t_driver, t_flat}, [&] {
+        swa_func = artifacts.swa_func_percent.has_value()
+                       ? *artifacts.swa_func_percent
+                       : measure_swa_func(target, driver, config.calibration,
+                                          flat)
+                             .peak_percent;
+      });
+  jobs.wait_all({t_cal, t_faults});
 
   FunctionalBistConfig gen = config.generation;
-  gen.swa_bound_percent = cal.peak_percent;
+  gen.swa_bound_percent = swa_func;
   gen.bounded = !unconstrained;
   gen.num_threads = config.num_threads;
   gen.speculation_lanes = config.speculation_lanes;
@@ -37,9 +80,9 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   ScanChains scan(target, config.scan);
   BistExperimentResult result{.target = std::move(target),
                               .scan = std::move(scan),
-                              .faults = {},
+                              .faults = std::move(faults),
                               .detect_count = {},
-                              .swa_func = cal.peak_percent,
+                              .swa_func = swa_func,
                               .run = {},
                               .detected = 0,
                               .fault_coverage_percent = 0.0,
@@ -49,10 +92,9 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
                               .nsp = 0,
                               .generation = gen,
                               .rtl = {}};
-  result.faults = TransitionFaultList::collapsed(result.target);
   result.detect_count.assign(result.faults.size(), 0);
 
-  FunctionalBistGenerator generator(result.target, gen);
+  FunctionalBistGenerator generator(result.target, gen, flat, &jobs);
   result.nsp = generator.tpg().cube().specified_count();
   result.run = generator.run(result.faults, result.detect_count);
   result.seeds_before_reduction = result.run.num_seeds;
@@ -76,7 +118,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
             "internal: test/sequence bookkeeping mismatch");
     const std::vector<std::size_t> kept =
         reduce_groups(result.target, result.run.tests, result.faults, group_of,
-                      result.run.sequences.size(), config.num_threads);
+                      result.run.sequences.size(), config.num_threads, &jobs);
     if (kept.size() < result.run.sequences.size()) {
       FunctionalBistResult reduced;
       reduced.newly_detected = result.run.newly_detected;
@@ -141,7 +183,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config) {
   FBT_OBS_GAUGE_SET("flow.num_faults", result.faults.size());
 
   FBT_OBS_GAUGE_SET("flow.num_threads",
-                    ThreadPool::resolve_threads(config.num_threads));
+                    jobs::JobSystem::resolve_threads(config.num_threads));
   FBT_OBS_GAUGE_SET("flow.speculation_lanes", config.speculation_lanes);
   FBT_OBS_GAUGE_SET("flow.num_tests", result.run.num_tests);
   FBT_OBS_GAUGE_SET("flow.num_seeds", result.run.num_seeds);

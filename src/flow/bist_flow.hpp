@@ -5,6 +5,7 @@
 // hardware. Shared by bench_table4_* and the examples.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -66,9 +67,35 @@ struct BistExperimentResult {
   std::optional<EmittedRtl> rtl;
 };
 
+/// Pre-computed inputs an orchestrator (the serving cache) may hand to
+/// run_bist_experiment so the flow skips re-deriving them. Every field is
+/// optional; a null/empty field is derived from `config` as usual. Supplied
+/// artifacts MUST match what the config would derive (the cache keys them by
+/// netlist content + config fields) -- the flow trusts them.
+struct ExperimentArtifacts {
+  std::shared_ptr<const Netlist> target;
+  std::shared_ptr<const Netlist> driver;
+  /// Calibrated SWA_func peak (percent); skips measure_swa_func entirely.
+  std::optional<double> swa_func_percent;
+  /// Collapsed transition-fault list of the target.
+  std::shared_ptr<const TransitionFaultList> faults;
+  /// Flattened fanin CSR of the target (shared by the internal simulators).
+  std::shared_ptr<const FlatFanins> flat;
+};
+
 /// Runs calibration + constrained (or unconstrained, when driver is
-/// "buffers"/empty) built-in generation.
+/// "buffers"/empty) built-in generation. Uses the process-wide job pool.
 BistExperimentResult run_bist_experiment(const BistExperimentConfig& config);
+
+/// Same flow as a task graph on `jobs`: target/driver loading, SWA_func
+/// calibration, CSR flattening, and fault collapsing run as dependency-
+/// ordered tasks, and every fault-grading step multiplexes `jobs` -- many
+/// experiments share one pool. `artifacts` short-circuits tasks whose
+/// results the caller already holds (cache hits). Results are bit-identical
+/// to the single-argument overload for any pool size and any artifacts.
+BistExperimentResult run_bist_experiment(const BistExperimentConfig& config,
+                                         jobs::JobSystem& jobs,
+                                         const ExperimentArtifacts& artifacts);
 
 struct HoldExperimentResult {
   HoldSelectionResult hold;

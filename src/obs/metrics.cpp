@@ -126,6 +126,16 @@ void register_core_counters() {
   // fired (few faults or one thread), vs. parallelism never engaged at all.
   reg.counter("fault.serial_grade_fallbacks");
   reg.gauge("fault.parallel_threads");
+  // Serving layer (fbt_serve daemon + work-stealing job system): registered
+  // so batch runs report them as zeros and dashboards can always render the
+  // Serving panel from a uniform metric set.
+  reg.counter("serve.requests_total");
+  reg.counter("serve.cache_hits");
+  reg.counter("serve.cache_misses");
+  reg.counter("serve.cache_evictions");
+  reg.counter("jobs.submitted");
+  reg.counter("jobs.executed");
+  reg.counter("jobs.steals");
   reg.gauge("flow.num_threads");
   reg.gauge("flow.speculation_lanes");
   reg.gauge("flow.fault_coverage_percent");

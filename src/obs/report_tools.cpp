@@ -282,6 +282,37 @@ void html_phases(const JsonValue* phases, int depth, std::ostringstream& out) {
 
 }  // namespace
 
+/// Serving panel: every serve.* / jobs.* counter and gauge, so a daemon or
+/// bench_serve report shows request volume, cache effectiveness, and steal
+/// traffic at a glance. Reports with no serving activity (batch tools, or a
+/// v3 report predating the serving layer) degrade to a note.
+void html_serving_panel(const JsonValue& report, std::ostringstream& out) {
+  std::vector<std::pair<std::string, double>> rows;
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* sec = report.find(section);
+    if (sec == nullptr || !sec->is_object()) continue;
+    for (const auto& [name, value] : sec->object) {
+      if (!value.is_number()) continue;
+      if (name.rfind("serve.", 0) != 0 && name.rfind("jobs.", 0) != 0) {
+        continue;
+      }
+      rows.emplace_back(name, value.number);
+    }
+  }
+  bool any_nonzero = false;
+  for (const auto& [name, value] : rows) any_nonzero |= value != 0.0;
+  if (rows.empty() || !any_nonzero) {
+    out << "<p class=\"dim\">no serving activity in this run</p>\n";
+    return;
+  }
+  out << "<table><tr><th>metric</th><th>value</th></tr>\n";
+  for (const auto& [name, value] : rows) {
+    out << "<tr><td>" << html_escape(name) << "</td><td>" << num(value)
+        << "</td></tr>\n";
+  }
+  out << "</table>\n";
+}
+
 DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
                             const DiffThresholds& thresholds) {
   DiffResult result;
@@ -360,6 +391,19 @@ DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
     }
   }
 
+  const double warm_speedup =
+      metric_value(current, "gauges", "serve.warm_speedup");
+  if (thresholds.min_warm_speedup >= 0.0) {
+    summary << "warm_speedup: "
+            << num(metric_value(baseline, "gauges", "serve.warm_speedup"))
+            << " -> " << num(warm_speedup) << "\n";
+    if (warm_speedup < thresholds.min_warm_speedup) {
+      result.violations.push_back(
+          "serve warm speedup " + num(warm_speedup) + "x below required " +
+          num(thresholds.min_warm_speedup) + "x");
+    }
+  }
+
   summary << "changed metrics:\n";
   append_metric_deltas(baseline, current, "gauges", summary);
   append_metric_deltas(baseline, current, "counters", summary);
@@ -419,6 +463,9 @@ std::string render_html_dashboard(const JsonValue& report,
   const JsonValue* analytics = report.find("analytics");
   html_kv_table(analytics != nullptr ? analytics->find("speculation") : nullptr,
                 out);
+
+  out << "<h2>Serving</h2>\n";
+  html_serving_panel(report, out);
 
   out << "<h2>Memory</h2>\n";
   html_memory_panel(report, out);

@@ -31,6 +31,10 @@ struct DiffThresholds {
   /// Disabled by default; bytes_per_gate is derived from deterministic
   /// content-byte footprints, so a tight gate (~10%) is safe to opt into.
   double max_bytes_per_gate_increase_percent = -1.0;
+  /// Minimum required value of the current report's serve.warm_speedup
+  /// gauge (cold latency / warm latency from bench_serve). Disabled by
+  /// default; the serve CI job gates it at 10.
+  double min_warm_speedup = -1.0;
 };
 
 struct DiffResult {

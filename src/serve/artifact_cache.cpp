@@ -1,0 +1,84 @@
+#include "serve/artifact_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/instrument.hpp"
+
+namespace fbt::serve {
+
+ArtifactCache::ArtifactCache(std::uint64_t byte_cap) : byte_cap_(byte_cap) {}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+std::shared_ptr<const void> ArtifactCache::lookup(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    FBT_OBS_COUNTER_ADD("serve.cache_misses", 1);
+    return nullptr;
+  }
+  it->second.tick = ++tick_;
+  ++stats_.hits;
+  FBT_OBS_COUNTER_ADD("serve.cache_hits", 1);
+  return it->second.value;
+}
+
+std::shared_ptr<const void> ArtifactCache::insert(
+    const std::string& id, std::shared_ptr<const void> value,
+    std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    // A racing compute beat us; keep the resident entry so every holder
+    // shares one copy.
+    it->second.tick = ++tick_;
+    return it->second.value;
+  }
+  Entry& entry = entries_[id];
+  entry.value = std::move(value);
+  entry.bytes = bytes;
+  entry.tick = ++tick_;
+  bytes_ += bytes;
+  evict_locked(id);
+  FBT_OBS_FOOTPRINT("serve.cache", bytes_);
+  return entry.value;
+}
+
+void ArtifactCache::evict_locked(const std::string& keep) {
+  while (bytes_ > byte_cap_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == entries_.end() || it->second.tick < victim->second.tick) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+    FBT_OBS_COUNTER_ADD("serve.cache_evictions", 1);
+  }
+}
+
+std::optional<CacheKey> ArtifactCache::alias(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = aliases_.find(name);
+  if (it == aliases_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ArtifactCache::remember_alias(const std::string& name,
+                                   const CacheKey& key) {
+  std::lock_guard lock(mutex_);
+  aliases_.emplace(name, key);
+}
+
+}  // namespace fbt::serve

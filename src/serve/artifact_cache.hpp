@@ -1,0 +1,107 @@
+// Byte-capped LRU cache of derived artifacts, shared by every request the
+// daemon serves.
+//
+// Entries are immutable values behind shared_ptr<const T>, addressed by
+// "kind:<content-hash>" ids (see serve/cache_key.hpp). Hits bump an LRU
+// tick; inserts evict least-recently-used entries until the configured byte
+// cap holds again. Eviction only drops the cache's reference -- requests
+// already holding the shared_ptr keep a live artifact; the bytes are freed
+// when the last holder releases it.
+//
+// Concurrency: one mutex guards the map; compute callbacks run OUTSIDE the
+// lock (artifact construction can take seconds), so two racing misses for
+// the same key may both compute. Artifacts are deterministic functions of
+// their key, so the race is benign: the first insert wins and the loser's
+// copy is discarded.
+//
+// Observability: serve.cache_hits / serve.cache_misses /
+// serve.cache_evictions counters, plus a "serve.cache" entry in the
+// footprint registry tracking resident bytes. Internal Stats mirror the
+// counters so behavior is testable under FBT_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "serve/cache_key.hpp"
+
+namespace fbt::serve {
+
+class ArtifactCache {
+ public:
+  static constexpr std::uint64_t kDefaultByteCap = 256ULL << 20;  // 256 MiB
+
+  explicit ArtifactCache(std::uint64_t byte_cap = kDefaultByteCap);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+  };
+  Stats stats() const;
+  std::uint64_t byte_cap() const { return byte_cap_; }
+
+  /// Returns the cached artifact for `kind` + `key`, computing and inserting
+  /// it on a miss. `compute` builds the artifact; `size_of` reports its byte
+  /// footprint for cap accounting. Counts exactly one hit or one miss.
+  template <typename T>
+  std::shared_ptr<const T> get_or_compute(
+      const char* kind, const CacheKey& key,
+      const std::function<std::shared_ptr<const T>()>& compute,
+      const std::function<std::uint64_t(const T&)>& size_of) {
+    const std::string id = make_id(kind, key);
+    if (std::shared_ptr<const void> found = lookup(id)) {
+      return std::static_pointer_cast<const T>(found);
+    }
+    std::shared_ptr<const T> value = compute();
+    return std::static_pointer_cast<const T>(
+        insert(id, value, size_of(*value)));
+  }
+
+  /// Hit/miss-counting lookup of a type-erased entry; null on miss.
+  std::shared_ptr<const void> lookup(const std::string& id);
+
+  /// Inserts (first writer wins: a racing earlier insert is returned
+  /// instead) and evicts LRU entries until the byte cap holds. Returns the
+  /// entry now cached under `id`.
+  std::shared_ptr<const void> insert(const std::string& id,
+                                     std::shared_ptr<const void> value,
+                                     std::uint64_t bytes);
+
+  /// Name -> content key memo ("target:s298" resolved once per daemon), so
+  /// repeat requests for a named benchmark skip recomputing its key.
+  std::optional<CacheKey> alias(const std::string& name) const;
+  void remember_alias(const std::string& name, const CacheKey& key);
+
+  static std::string make_id(const char* kind, const CacheKey& key) {
+    return std::string(kind) + ":" + key.hex();
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::uint64_t bytes = 0;
+    std::uint64_t tick = 0;  ///< last-use order; smallest evicts first
+  };
+
+  /// Evicts while over cap (never the entry named by `keep`); call under
+  /// the lock.
+  void evict_locked(const std::string& keep);
+
+  const std::uint64_t byte_cap_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, CacheKey> aliases_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fbt::serve

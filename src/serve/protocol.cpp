@@ -1,0 +1,239 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "serve/cache_key.hpp"
+
+namespace fbt::serve {
+
+namespace {
+
+double num_or(const obs::JsonValue& obj, const std::string& key,
+              double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr ? v->as_number(fallback) : fallback;
+}
+
+std::uint64_t uint_or(const obs::JsonValue& obj, const std::string& key,
+                      std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      num_or(obj, key, static_cast<double>(fallback)));
+}
+
+bool bool_or(const obs::JsonValue& obj, const std::string& key,
+             bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind == obs::JsonValue::Kind::kBool) return v->boolean;
+  return v->as_number(fallback ? 1.0 : 0.0) != 0.0;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request& out, std::string& error) {
+  obs::JsonValue doc;
+  if (!obs::json_parse(line, doc, error)) return false;
+  if (!doc.is_object()) {
+    error = "request must be a JSON object";
+    return false;
+  }
+  const obs::JsonValue* type = doc.find("type");
+  const std::string kind =
+      type != nullptr ? type->as_string("") : std::string();
+  if (const obs::JsonValue* id = doc.find("id")) {
+    out.id = id->as_string("");
+  } else {
+    out.id.clear();
+  }
+  if (kind == "ping") {
+    out.type = RequestType::kPing;
+    return true;
+  }
+  if (kind == "stats") {
+    out.type = RequestType::kStats;
+    return true;
+  }
+  if (kind == "shutdown") {
+    out.type = RequestType::kShutdown;
+    return true;
+  }
+  if (kind != "experiment") {
+    error = "unknown request type \"" + kind + "\"";
+    return false;
+  }
+  out.type = RequestType::kExperiment;
+  ExperimentRequest& exp = out.experiment;
+  exp = ExperimentRequest{};
+  if (const obs::JsonValue* t = doc.find("target")) {
+    exp.target = t->as_string("");
+  }
+  if (const obs::JsonValue* n = doc.find("netlist_bench")) {
+    exp.netlist_bench = n->as_string("");
+  }
+  if (exp.target.empty() && exp.netlist_bench.empty()) {
+    error = "experiment request needs \"target\" or \"netlist_bench\"";
+    return false;
+  }
+  if (const obs::JsonValue* d = doc.find("driver")) {
+    exp.driver = d->as_string("");
+  }
+  exp.stream_progress = bool_or(doc, "stream_progress", true);
+
+  BistExperimentConfig& cfg = exp.config;
+  cfg.target_name = exp.target;
+  cfg.driver_name = exp.driver;
+  if (const obs::JsonValue* c = doc.find("config"); c != nullptr &&
+                                                    c->is_object()) {
+    const obs::JsonValue& o = *c;
+    cfg.calibration.num_sequences =
+        uint_or(o, "cal_sequences", cfg.calibration.num_sequences);
+    cfg.calibration.sequence_length =
+        uint_or(o, "cal_length", cfg.calibration.sequence_length);
+    cfg.calibration.rng_seed =
+        uint_or(o, "cal_rng_seed", cfg.calibration.rng_seed);
+    cfg.calibration.tpg.lfsr_stages = static_cast<unsigned>(
+        uint_or(o, "cal_lfsr_stages", cfg.calibration.tpg.lfsr_stages));
+    cfg.calibration.tpg.bias_bits = static_cast<unsigned>(
+        uint_or(o, "cal_bias_bits", cfg.calibration.tpg.bias_bits));
+    cfg.generation.tpg.lfsr_stages = static_cast<unsigned>(
+        uint_or(o, "tpg_lfsr_stages", cfg.generation.tpg.lfsr_stages));
+    cfg.generation.tpg.bias_bits = static_cast<unsigned>(
+        uint_or(o, "tpg_bias_bits", cfg.generation.tpg.bias_bits));
+    cfg.generation.segment_length =
+        uint_or(o, "segment_length", cfg.generation.segment_length);
+    cfg.generation.max_segment_failures = uint_or(
+        o, "max_segment_failures", cfg.generation.max_segment_failures);
+    cfg.generation.max_sequence_failures = uint_or(
+        o, "max_sequence_failures", cfg.generation.max_sequence_failures);
+    cfg.generation.rng_seed = uint_or(o, "rng_seed", cfg.generation.rng_seed);
+    cfg.generation.detect_limit = static_cast<std::uint32_t>(
+        uint_or(o, "detect_limit", cfg.generation.detect_limit));
+    cfg.scan.max_chains = uint_or(o, "scan_max_chains", cfg.scan.max_chains);
+    cfg.scan.min_chain_length =
+        uint_or(o, "scan_min_chain_length", cfg.scan.min_chain_length);
+    cfg.reduce_sequences =
+        bool_or(o, "reduce_sequences", cfg.reduce_sequences);
+    cfg.num_threads = uint_or(o, "num_threads", cfg.num_threads);
+    cfg.speculation_lanes =
+        uint_or(o, "speculation_lanes", cfg.speculation_lanes);
+    cfg.emit_rtl = bool_or(o, "emit_rtl", cfg.emit_rtl);
+    cfg.rtl_misr_stages = static_cast<unsigned>(
+        uint_or(o, "rtl_misr_stages", cfg.rtl_misr_stages));
+  }
+  return true;
+}
+
+std::string hash_detect_counts(const std::vector<std::uint32_t>& counts) {
+  KeyBuilder b;
+  b.str("detect_counts");
+  b.u64(counts.size());
+  b.bytes(counts.data(), counts.size() * sizeof(std::uint32_t));
+  return b.finish().hex();
+}
+
+std::string hash_first_detects(const std::vector<FaultFirstDetect>& fd) {
+  KeyBuilder b;
+  b.str("first_detects");
+  b.u64(fd.size());
+  for (const FaultFirstDetect& f : fd) {
+    b.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.sequence)))
+        .u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(f.segment)))
+        .u64(static_cast<std::uint64_t>(f.test))
+        .u64(f.seed);
+  }
+  return b.finish().hex();
+}
+
+std::string compact_json(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  bool in_string = false;
+  bool escaped = false;
+  bool at_line_start = false;
+  for (const char c : pretty) {
+    if (in_string) {
+      out.push_back(c);
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start && (c == ' ' || c == '\t')) continue;
+    at_line_start = false;
+    if (c == '"') in_string = true;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_progress(const std::string& id,
+                            const obs::JournalEvent& event) {
+  std::string out = "{\"type\": \"progress\", \"id\": \"";
+  out += obs::json_escape(id);
+  out += "\", \"event\": ";
+  out += obs::render_event_line(event);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  out += "}";
+  return out;
+}
+
+std::string render_result(const std::string& id, const ExperimentSummary& s,
+                          bool cache_hit, const std::string& experiment_key,
+                          double elapsed_ms,
+                          const std::string& compact_report) {
+  std::string out = "{\"type\": \"result\", \"id\": \"";
+  out += obs::json_escape(id);
+  out += "\", \"cache\": \"";
+  out += cache_hit ? "hit" : "miss";
+  out += "\", \"target\": \"";
+  out += obs::json_escape(s.target);
+  out += "\", \"experiment_key\": \"" + experiment_key + "\"";
+  out += ", \"swa_func_percent\": " + fmt_double(s.swa_func_percent);
+  out += ", \"num_tests\": " + std::to_string(s.num_tests);
+  out += ", \"num_seeds\": " + std::to_string(s.num_seeds);
+  out += ", \"num_faults\": " + std::to_string(s.num_faults);
+  out += ", \"detected\": " + std::to_string(s.detected);
+  out += ", \"fault_coverage_percent\": " +
+         fmt_double(s.fault_coverage_percent);
+  out += ", \"overhead_percent\": " + fmt_double(s.overhead_percent);
+  out += ", \"detect_hash\": \"" + hash_detect_counts(s.detect_count) + "\"";
+  out += ", \"first_detect_hash\": \"" + hash_first_detects(s.first_detect) +
+         "\"";
+  out += ", \"elapsed_ms\": " + fmt_double(elapsed_ms);
+  if (!compact_report.empty()) {
+    out += ", \"report\": " + compact_report;
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_error(const std::string& id, const std::string& message) {
+  return "{\"type\": \"error\", \"id\": \"" + obs::json_escape(id) +
+         "\", \"message\": \"" + obs::json_escape(message) + "\"}";
+}
+
+std::string render_pong(const std::string& id) {
+  return "{\"type\": \"pong\", \"id\": \"" + obs::json_escape(id) + "\"}";
+}
+
+std::string render_bye(const std::string& id) {
+  return "{\"type\": \"bye\", \"id\": \"" + obs::json_escape(id) + "\"}";
+}
+
+}  // namespace fbt::serve

@@ -1,0 +1,375 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "circuits/registry.hpp"
+#include "circuits/synth.hpp"
+#include "netlist/bench_io.hpp"
+#include "obs/instrument.hpp"
+#include "obs/run_report.hpp"
+
+namespace fbt::serve {
+
+namespace {
+
+std::string render_stats_line(const std::string& id,
+                              const ArtifactCache::Stats& stats,
+                              std::uint64_t requests_total) {
+  std::string out = "{\"type\": \"stats\", \"id\": \"";
+  out += obs::json_escape(id);
+  out += "\", \"requests_total\": " + std::to_string(requests_total);
+  out += ", \"cache_hits\": " + std::to_string(stats.hits);
+  out += ", \"cache_misses\": " + std::to_string(stats.misses);
+  out += ", \"cache_evictions\": " + std::to_string(stats.evictions);
+  out += ", \"cache_entries\": " + std::to_string(stats.entries);
+  out += ", \"cache_bytes\": " + std::to_string(stats.bytes);
+  out += "}";
+  return out;
+}
+
+/// Streams journal events in [cursor, size) as progress lines; advances
+/// cursor.
+void drain_journal(std::size_t& cursor, const std::string& id,
+                   const std::function<void(const std::string&)>& emit) {
+  const std::vector<obs::JournalEvent> events = obs::journal().events();
+  for (; cursor < events.size(); ++cursor) {
+    emit(render_progress(id, events[cursor]));
+  }
+}
+
+}  // namespace
+
+ExperimentService::ExperimentService(jobs::JobSystem& jobs,
+                                     ArtifactCache& cache)
+    : jobs_(jobs), cache_(cache) {}
+
+std::shared_ptr<const Netlist> ExperimentService::fetch_netlist(
+    const CacheKey& key, const std::function<Netlist()>& load) {
+  return cache_.get_or_compute<Netlist>(
+      "netlist", key,
+      [&load] { return std::make_shared<const Netlist>(load()); },
+      [](const Netlist& n) { return n.footprint_bytes(); });
+}
+
+ExperimentService::ResolvedNetlist ExperimentService::resolve_target(
+    const ExperimentRequest& request, bool need_netlist) {
+  ResolvedNetlist out;
+  if (!request.netlist_bench.empty()) {
+    // Inline text: canonicalize through parse (write_bench inside the key
+    // function makes whitespace/comment variants collide on purpose).
+    auto parsed = std::make_shared<Netlist>(parse_bench(
+        request.netlist_bench,
+        request.target.empty() ? std::string("inline") : request.target));
+    out.key = netlist_cache_key(*parsed);
+    out.netlist =
+        fetch_netlist(out.key, [&parsed] { return std::move(*parsed); });
+    return out;
+  }
+  const std::string alias = "bench:" + request.target;
+  if (const std::optional<CacheKey> k = cache_.alias(alias)) {
+    out.key = *k;
+    if (need_netlist) {
+      out.netlist = fetch_netlist(
+          out.key, [&request] { return load_benchmark(request.target); });
+    }
+    return out;
+  }
+  Netlist loaded = load_benchmark(request.target);
+  out.key = netlist_cache_key(loaded);
+  cache_.remember_alias(alias, out.key);
+  out.netlist = fetch_netlist(out.key, [&loaded] { return std::move(loaded); });
+  return out;
+}
+
+ExperimentService::ResolvedNetlist ExperimentService::resolve_driver(
+    const ExperimentRequest& request, const ResolvedNetlist& target,
+    bool need_netlist) {
+  const bool unconstrained =
+      request.driver.empty() || request.driver == "buffers";
+  ResolvedNetlist out;
+  if (!unconstrained) {
+    const std::string alias = "bench:" + request.driver;
+    if (const std::optional<CacheKey> k = cache_.alias(alias)) {
+      out.key = *k;
+      if (need_netlist) {
+        out.netlist = fetch_netlist(
+            out.key, [&request] { return load_benchmark(request.driver); });
+      }
+      return out;
+    }
+    Netlist loaded = load_benchmark(request.driver);
+    out.key = netlist_cache_key(loaded);
+    cache_.remember_alias(alias, out.key);
+    out.netlist =
+        fetch_netlist(out.key, [&loaded] { return std::move(loaded); });
+    return out;
+  }
+  // Buffers block: a pure function of the target's input count, aliased per
+  // target so repeat requests never rebuild it.
+  const std::string alias = "buffers-for:" + target.key.hex();
+  if (const std::optional<CacheKey> k = cache_.alias(alias)) {
+    out.key = *k;
+    if (!need_netlist) return out;
+  }
+  // Needs the width (and therefore the target netlist) at least once.
+  std::shared_ptr<const Netlist> target_netlist = target.netlist;
+  if (target_netlist == nullptr) {
+    target_netlist = fetch_netlist(
+        target.key, [&request] { return load_benchmark(request.target); });
+  }
+  Netlist block = make_buffers_block(target_netlist->num_inputs());
+  out.key = netlist_cache_key(block);
+  cache_.remember_alias(alias, out.key);
+  if (need_netlist) {
+    out.netlist =
+        fetch_netlist(out.key, [&block] { return std::move(block); });
+  }
+  return out;
+}
+
+ExperimentSummary ExperimentService::run_experiment(
+    const ExperimentRequest& request, bool* cache_hit,
+    const std::function<void(const std::string&)>& emit,
+    const std::string& id, std::string* experiment_key_hex) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  FBT_OBS_COUNTER_ADD("serve.requests_total", 1);
+
+  ResolvedNetlist target = resolve_target(request, /*need_netlist=*/false);
+  ResolvedNetlist driver =
+      resolve_driver(request, target, /*need_netlist=*/false);
+
+  BistExperimentConfig config = request.config;
+  config.target_name = request.target;
+  config.driver_name = request.driver;
+  const CacheKey exp_key =
+      experiment_cache_key(target.key, driver.key, config);
+  const std::string exp_id = ArtifactCache::make_id("experiment", exp_key);
+  if (experiment_key_hex != nullptr) *experiment_key_hex = exp_key.hex();
+  if (const std::shared_ptr<const void> found = cache_.lookup(exp_id)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *std::static_pointer_cast<const ExperimentSummary>(found);
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+
+  if (target.netlist == nullptr) target = resolve_target(request, true);
+  if (driver.netlist == nullptr) {
+    driver = resolve_driver(request, target, true);
+  }
+
+  // Derived artifacts, each cached under its own content key.
+  ExperimentArtifacts artifacts;
+  artifacts.target = target.netlist;
+  artifacts.driver = driver.netlist;
+  artifacts.flat = cache_.get_or_compute<FlatFanins>(
+      "flat_fanins", flat_fanins_cache_key(target.key),
+      [&] { return std::make_shared<const FlatFanins>(*target.netlist); },
+      [](const FlatFanins& f) { return f.footprint_bytes(); });
+  artifacts.faults = cache_.get_or_compute<TransitionFaultList>(
+      "fault_list", fault_list_cache_key(target.key),
+      [&] {
+        return std::make_shared<const TransitionFaultList>(
+            TransitionFaultList::collapsed(*target.netlist));
+      },
+      [](const TransitionFaultList& f) { return f.footprint_bytes(); });
+  const std::shared_ptr<const double> calibration =
+      cache_.get_or_compute<double>(
+          "calibration",
+          calibration_cache_key(target.key, driver.key, config.calibration),
+          [&] {
+            return std::make_shared<const double>(
+                measure_swa_func(*target.netlist, *driver.netlist,
+                                 config.calibration, artifacts.flat)
+                    .peak_percent);
+          },
+          [](const double&) { return std::uint64_t{sizeof(double)}; });
+  artifacts.swa_func_percent = *calibration;
+
+  // Run the flow as a task on the shared pool, streaming journal events
+  // while it executes (see the header's interleaving caveat).
+  const bool stream = emit != nullptr && request.stream_progress;
+  std::size_t cursor = obs::journal().size();
+  std::optional<BistExperimentResult> result;
+  const jobs::TaskHandle handle = jobs_.submit(
+      [&] { result.emplace(run_bist_experiment(config, jobs_, artifacts)); });
+  while (!handle.done()) {
+    if (stream) drain_journal(cursor, id, emit);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  jobs_.wait(handle);  // rethrows a failed run
+  if (stream) drain_journal(cursor, id, emit);
+
+  ExperimentSummary summary;
+  summary.target = request.target.empty() ? "inline" : request.target;
+  summary.swa_func_percent = result->swa_func;
+  summary.num_tests = result->run.num_tests;
+  summary.num_seeds = result->run.num_seeds;
+  summary.detected = result->detected;
+  summary.num_faults = result->faults.size();
+  summary.fault_coverage_percent = result->fault_coverage_percent;
+  summary.overhead_percent = result->overhead_percent;
+  summary.detect_count = std::move(result->detect_count);
+  summary.first_detect = std::move(result->run.first_detect);
+
+  auto stored = std::make_shared<const ExperimentSummary>(std::move(summary));
+  const std::uint64_t bytes = stored->footprint_bytes();
+  return *std::static_pointer_cast<const ExperimentSummary>(
+      cache_.insert(exp_id, std::move(stored), bytes));
+}
+
+bool ExperimentService::handle_line(
+    const std::string& line,
+    const std::function<void(const std::string&)>& emit) {
+  Request request;
+  std::string error;
+  if (!parse_request(line, request, error)) {
+    emit(render_error(request.id, error));
+    return true;
+  }
+  switch (request.type) {
+    case RequestType::kPing:
+      emit(render_pong(request.id));
+      return true;
+    case RequestType::kStats:
+      emit(render_stats_line(request.id, cache_.stats(), requests_total()));
+      return true;
+    case RequestType::kShutdown:
+      emit(render_bye(request.id));
+      return false;
+    case RequestType::kExperiment:
+      break;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    bool hit = false;
+    std::string key_hex;
+    const ExperimentSummary summary =
+        run_experiment(request.experiment, &hit, emit, request.id, &key_hex);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string report = compact_json(render_run_report(
+        obs::collect_run_report(
+            "fbt_serve", {{"target", summary.target},
+                          {"cache", hit ? "hit" : "miss"}})));
+    emit(render_result(request.id, summary, hit, key_hex, elapsed_ms,
+                       report));
+  } catch (const std::exception& e) {
+    emit(render_error(request.id, e.what()));
+  }
+  return true;
+}
+
+SocketServer::SocketServer(ExperimentService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() {
+  request_stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(path_.c_str());
+}
+
+bool SocketServer::start(std::string& error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + path_;
+    return false;
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    error = std::string("bind/listen(") + path_ + "): " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::serve_forever() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::lock_guard lock(mutex_);
+    conn_fds_.push_back(fd);
+    threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void SocketServer::request_stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard lock(mutex_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketServer::handle_connection(int fd) {
+  const auto emit = [fd](const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;  // peer gone; drop the rest of this response
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  std::string buffer;
+  char chunk[4096];
+  bool keep_serving = true;
+  while (keep_serving && !stop_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && keep_serving;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      keep_serving = service_.handle_line(line, emit);
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  if (!keep_serving) request_stop();
+}
+
+}  // namespace fbt::serve

@@ -1,0 +1,57 @@
+#include "serve/shutdown.hpp"
+
+#include <cstdlib>
+
+#include <pthread.h>
+
+namespace fbt::serve {
+
+namespace {
+
+sigset_t shutdown_sigset() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGUSR2);
+  return set;
+}
+
+}  // namespace
+
+GracefulShutdown::GracefulShutdown(std::function<void(int)> on_signal)
+    : on_signal_(std::move(on_signal)) {
+  const sigset_t set = shutdown_sigset();
+  // Block on this thread; threads created after this (the watcher, worker
+  // pools, connection threads) inherit the mask, so sigwait below is the
+  // only consumer of these signals.
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  watcher_ = std::thread([this] {
+    const sigset_t wait_set = shutdown_sigset();
+    while (true) {
+      int sig = 0;
+      if (sigwait(&wait_set, &sig) != 0) continue;
+      if (sig == SIGUSR2) {
+        if (quit_.load(std::memory_order_acquire)) return;
+        continue;  // stray USR2; not ours to act on
+      }
+      int expected = 0;
+      if (signal_.compare_exchange_strong(expected, sig,
+                                          std::memory_order_acq_rel)) {
+        if (on_signal_) on_signal_(sig);
+      } else {
+        // Second SIGINT/SIGTERM: the graceful path is already running (or
+        // hung) -- hard exit without waiting for it.
+        std::_Exit(exit_status(sig));
+      }
+    }
+  });
+}
+
+GracefulShutdown::~GracefulShutdown() {
+  quit_.store(true, std::memory_order_release);
+  pthread_kill(watcher_.native_handle(), SIGUSR2);
+  watcher_.join();
+}
+
+}  // namespace fbt::serve

@@ -1,0 +1,48 @@
+// Graceful SIGINT/SIGTERM handling for the daemon and the batch tools.
+//
+// Instead of an async-signal handler (which could only set a flag and must
+// not touch mutexes or the journal), the signals are blocked process-wide
+// and a dedicated watcher thread sigwait()s for them. The handler therefore
+// runs on an ordinary thread and may drain jobs, flush the NDJSON journal,
+// and write the run report. A second SIGINT/SIGTERM while the first is
+// being handled hard-exits (the escape hatch when a drain hangs).
+//
+// Construct the watcher BEFORE spawning worker threads: pthread_sigmask
+// applies to the constructing thread and is inherited by threads it creates,
+// which is what keeps the signals out of the pool. SIGUSR2 is reserved as
+// the watcher's private wake-up for destruction.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <functional>
+#include <thread>
+
+namespace fbt::serve {
+
+class GracefulShutdown {
+ public:
+  /// `on_signal(signum)` runs on the watcher thread for the first
+  /// SIGINT/SIGTERM. It should stop servers / drain work; when it returns,
+  /// the watcher keeps running only to catch the hard-exit second signal.
+  explicit GracefulShutdown(std::function<void(int)> on_signal);
+  ~GracefulShutdown();
+  GracefulShutdown(const GracefulShutdown&) = delete;
+  GracefulShutdown& operator=(const GracefulShutdown&) = delete;
+
+  /// 0 until a signal arrived, then the signal number.
+  int signal_received() const {
+    return signal_.load(std::memory_order_acquire);
+  }
+
+  /// Conventional exit status for "terminated by signal s" (128 + s).
+  static int exit_status(int signum) { return 128 + signum; }
+
+ private:
+  std::function<void(int)> on_signal_;
+  std::atomic<int> signal_{0};
+  std::atomic<bool> quit_{false};
+  std::thread watcher_;
+};
+
+}  // namespace fbt::serve

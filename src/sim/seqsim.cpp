@@ -8,8 +8,13 @@
 
 namespace fbt {
 
-SeqSim::SeqSim(const Netlist& netlist) : netlist_(&netlist), flat_(netlist) {
+SeqSim::SeqSim(const Netlist& netlist)
+    : SeqSim(netlist, std::make_shared<const FlatFanins>(netlist)) {}
+
+SeqSim::SeqSim(const Netlist& netlist, std::shared_ptr<const FlatFanins> flat)
+    : netlist_(&netlist), flat_(std::move(flat)) {
   require(netlist.finalized(), "SeqSim", "netlist must be finalized");
+  require(flat_ != nullptr, "SeqSim", "shared FlatFanins must not be null");
   values_.assign(netlist.size(), 0);
   prev_values_.assign(netlist.size(), 0);
   state_.assign(netlist.num_flops(), 0);
@@ -45,17 +50,17 @@ SeqStep SeqSim::step(std::span<const std::uint8_t> pi_values,
   for (std::size_t i = 0; i < state_.size(); ++i) {
     values_[netlist_->flops()[i]] = state_[i];
   }
-  for (const NodeId id : flat_.const0_nodes()) values_[id] = 0;
-  for (const NodeId id : flat_.const1_nodes()) values_[id] = 1;
+  for (const NodeId id : flat_->const0_nodes()) values_[id] = 0;
+  for (const NodeId id : flat_->const1_nodes()) values_[id] = 1;
 
   // Settle combinational logic.
   {
-    const NodeId* ids = flat_.fanin_ids();
+    const NodeId* ids = flat_->fanin_ids();
     std::uint8_t* vals = values_.data();
-    for (const FlatFanins::Entry& e : flat_.entries()) {
+    for (const FlatFanins::Entry& e : flat_->entries()) {
       vals[e.node] = eval_gate2_indexed(e.type, ids + e.first, e.count, vals);
     }
-    FBT_OBS_COUNTER_ADD("sim.seqsim_gates_evaluated", flat_.entries().size());
+    FBT_OBS_COUNTER_ADD("sim.seqsim_gates_evaluated", flat_->entries().size());
     FBT_OBS_COUNTER_ADD("sim.seqsim_cycles_stepped", 1);
   }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,6 +28,11 @@ struct SeqStep {
 class SeqSim {
  public:
   explicit SeqSim(const Netlist& netlist);
+
+  /// Shares a pre-built flattened fanin view (CSR) of `netlist` instead of
+  /// rebuilding it -- the serving cache hands the same immutable CSR to many
+  /// concurrent simulators. `flat` must describe `netlist` exactly.
+  SeqSim(const Netlist& netlist, std::shared_ptr<const FlatFanins> flat);
 
   /// Loads a state (one 0/1 value per flop, in netlist flop order), resets the
   /// cycle counter, and clears switching-activity history (the next step's
@@ -84,14 +90,14 @@ class SeqSim {
   /// Bytes owned by the flattened fanin view and value/state arrays
   /// (resource telemetry).
   std::uint64_t footprint_bytes() const {
-    return sizeof(*this) - sizeof(flat_) + flat_.footprint_bytes() +
+    return sizeof(*this) - sizeof(flat_) + flat_->footprint_bytes() +
            (values_.size() + prev_values_.size() + state_.size()) *
                sizeof(std::uint8_t);
   }
 
  private:
   const Netlist* netlist_;
-  FlatFanins flat_;
+  std::shared_ptr<const FlatFanins> flat_;  ///< immutable, possibly shared
   std::vector<std::uint8_t> values_;       // settled values, current cycle
   std::vector<std::uint8_t> prev_values_;  // settled values, previous cycle
   std::vector<std::uint8_t> state_;        // per flop

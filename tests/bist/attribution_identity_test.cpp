@@ -10,7 +10,7 @@
 
 #include "bist/functional_bist.hpp"
 #include "circuits/registry.hpp"
-#include "util/thread_pool.hpp"
+#include "jobs/job_system.hpp"
 
 namespace fbt {
 namespace {
@@ -44,7 +44,7 @@ FunctionalBistConfig small_config() {
 }
 
 std::vector<std::size_t> thread_counts_under_test() {
-  const std::size_t hw = ThreadPool::resolve_threads(0);
+  const std::size_t hw = jobs::JobSystem::resolve_threads(0);
   std::vector<std::size_t> counts = {1, 2};
   if (hw != 1 && hw != 2) counts.push_back(hw);
   return counts;

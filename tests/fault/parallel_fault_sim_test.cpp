@@ -30,7 +30,7 @@ TestSet random_tests(const Netlist& nl, std::size_t count, std::uint64_t seed) {
 }
 
 std::vector<std::size_t> thread_counts_under_test() {
-  const std::size_t hw = ThreadPool::resolve_threads(0);
+  const std::size_t hw = jobs::JobSystem::resolve_threads(0);
   std::vector<std::size_t> counts = {1, 2};
   if (hw != 1 && hw != 2) counts.push_back(hw);
   return counts;
@@ -121,7 +121,7 @@ TEST(ParallelFaultSim, ProvenanceOnlyRecordsFreshFirstDetections) {
 TEST(ParallelFaultSim, ZeroThreadsResolvesToHardwareConcurrency) {
   const Netlist nl = make_s27();
   ParallelBroadsideFaultSim sim(nl, 0);
-  EXPECT_EQ(sim.num_threads(), ThreadPool::resolve_threads(0));
+  EXPECT_EQ(sim.num_threads(), jobs::JobSystem::resolve_threads(0));
 }
 
 TEST(ParallelFaultSim, CarriesDetectionCreditInAndOut) {

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "bist/embedded.hpp"
+#include "circuits/registry.hpp"
+#include "circuits/synth.hpp"
 #include "fault/fault_sim.hpp"
+#include "jobs/job_system.hpp"
+#include "netlist/flat_fanins.hpp"
 #include "rtl/lockstep.hpp"
 
 namespace fbt {
@@ -33,6 +38,56 @@ TEST(BistFlow, UnconstrainedExperimentEndToEnd) {
   EXPECT_GT(r.circuit_area_um2, r.hw_area / 10.0);
   EXPECT_NEAR(r.overhead_percent,
               100.0 * r.hw_area / r.circuit_area_um2, 1e-9);
+}
+
+TEST(BistFlow, TaskGraphOverloadMatchesSerialReference) {
+  const BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  const BistExperimentResult serial = run_bist_experiment(cfg);
+  jobs::JobSystem jobs(4);  // the CI container may report one core
+  const BistExperimentResult graph =
+      run_bist_experiment(cfg, jobs, ExperimentArtifacts{});
+  EXPECT_EQ(graph.run.num_tests, serial.run.num_tests);
+  EXPECT_EQ(graph.run.num_seeds, serial.run.num_seeds);
+  EXPECT_EQ(graph.detected, serial.detected);
+  EXPECT_EQ(graph.detect_count, serial.detect_count);
+  EXPECT_DOUBLE_EQ(graph.swa_func, serial.swa_func);
+  EXPECT_DOUBLE_EQ(graph.fault_coverage_percent,
+                   serial.fault_coverage_percent);
+}
+
+TEST(BistFlow, SuppliedArtifactsAreBitIdenticalToDerived) {
+  // The serving cache hands pre-computed artifacts to the flow; supplying
+  // them must not change a single result byte versus deriving them.
+  const BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  jobs::JobSystem jobs(4);
+  const BistExperimentResult derived =
+      run_bist_experiment(cfg, jobs, ExperimentArtifacts{});
+
+  ExperimentArtifacts artifacts;
+  artifacts.target =
+      std::make_shared<const Netlist>(load_benchmark(cfg.target_name));
+  artifacts.driver = std::make_shared<const Netlist>(
+      make_buffers_block(artifacts.target->num_inputs()));
+  artifacts.flat = std::make_shared<const FlatFanins>(*artifacts.target);
+  artifacts.faults = std::make_shared<const TransitionFaultList>(
+      TransitionFaultList::collapsed(*artifacts.target));
+  artifacts.swa_func_percent = derived.swa_func;
+
+  const BistExperimentResult supplied =
+      run_bist_experiment(cfg, jobs, artifacts);
+  EXPECT_EQ(supplied.detect_count, derived.detect_count);
+  EXPECT_EQ(supplied.run.num_tests, derived.run.num_tests);
+  EXPECT_EQ(supplied.run.num_seeds, derived.run.num_seeds);
+  EXPECT_DOUBLE_EQ(supplied.swa_func, derived.swa_func);
+  EXPECT_DOUBLE_EQ(supplied.fault_coverage_percent,
+                   derived.fault_coverage_percent);
+  ASSERT_EQ(supplied.run.first_detect.size(), derived.run.first_detect.size());
+  for (std::size_t i = 0; i < derived.run.first_detect.size(); ++i) {
+    EXPECT_EQ(supplied.run.first_detect[i].test,
+              derived.run.first_detect[i].test) << i;
+    EXPECT_EQ(supplied.run.first_detect[i].seed,
+              derived.run.first_detect[i].seed) << i;
+  }
 }
 
 TEST(BistFlow, ConstrainedExperimentBoundsSwitching) {

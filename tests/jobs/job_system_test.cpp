@@ -1,0 +1,186 @@
+#include "jobs/job_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
+
+namespace fbt::jobs {
+namespace {
+
+// The CI container may report a single core, which would collapse every
+// parallel path to the inline one -- tests that exercise scheduling size the
+// pool explicitly.
+constexpr std::size_t kPool = 4;
+
+TEST(JobSystem, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(JobSystem::resolve_threads(0), 1u);
+  EXPECT_EQ(JobSystem::resolve_threads(3), 3u);
+  EXPECT_EQ(JobSystem::resolve_threads(1), 1u);
+}
+
+TEST(JobSystem, SubmitRunsAndWaitBlocks) {
+  JobSystem jobs(kPool);
+  std::atomic<int> ran{0};
+  const TaskHandle h = jobs.submit([&] { ran.fetch_add(1); });
+  EXPECT_TRUE(h.valid());
+  jobs.wait(h);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_TRUE(h.done());
+}
+
+TEST(JobSystem, InvalidHandleWaitIsNoop) {
+  JobSystem jobs(kPool);
+  TaskHandle inert;
+  EXPECT_FALSE(inert.valid());
+  jobs.wait(inert);  // must not hang or throw
+}
+
+TEST(JobSystem, ParallelForCoversEveryIndexExactlyOnce) {
+  JobSystem jobs(kPool);
+  constexpr std::size_t kN = 997;  // odd, not a multiple of the pool size
+  std::vector<std::atomic<int>> hits(kN);
+  jobs.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(JobSystem, SingleWorkerParallelForRunsInline) {
+  JobSystem jobs(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  jobs.parallel_for(seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(JobSystem, ExceptionRethrownOnWait) {
+  JobSystem jobs(kPool);
+  const TaskHandle h =
+      jobs.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(jobs.wait(h), std::runtime_error);
+  // A second wait on the same handle rethrows again (the state is sticky).
+  EXPECT_THROW(jobs.wait(h), std::runtime_error);
+}
+
+TEST(JobSystem, ParallelForRethrowsFirstByIndex) {
+  JobSystem jobs(kPool);
+  try {
+    jobs.parallel_for(64, [](std::size_t i) {
+      if (i == 7) throw std::runtime_error("seven");
+      if (i == 31) throw std::logic_error("thirty-one");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "seven");
+  }
+}
+
+TEST(JobSystem, FailedDependencySkipsDependent) {
+  JobSystem jobs(kPool);
+  std::atomic<bool> dependent_ran{false};
+  const TaskHandle bad =
+      jobs.submit([] { throw std::runtime_error("dep failed"); });
+  const TaskHandle after =
+      jobs.submit_after({bad}, [&] { dependent_ran.store(true); });
+  EXPECT_THROW(jobs.wait(after), std::runtime_error);
+  EXPECT_FALSE(dependent_ran.load());
+  EXPECT_TRUE(after.done());
+}
+
+TEST(JobSystem, DiamondDependencyOrdering) {
+  JobSystem jobs(kPool);
+  std::atomic<int> stage{0};
+  int a_at = -1, b_at = -1, c_at = -1, d_at = -1;
+  const TaskHandle a = jobs.submit([&] { a_at = stage.fetch_add(1); });
+  const TaskHandle b = jobs.submit_after({a}, [&] { b_at = stage.fetch_add(1); });
+  const TaskHandle c = jobs.submit_after({a}, [&] { c_at = stage.fetch_add(1); });
+  const TaskHandle d =
+      jobs.submit_after({b, c}, [&] { d_at = stage.fetch_add(1); });
+  jobs.wait(d);
+  EXPECT_EQ(a_at, 0);
+  EXPECT_GT(b_at, a_at);
+  EXPECT_GT(c_at, a_at);
+  EXPECT_GT(d_at, b_at);
+  EXPECT_GT(d_at, c_at);
+  EXPECT_EQ(d_at, 3);
+}
+
+TEST(JobSystem, DependencyAlreadyFinishedStillRuns) {
+  JobSystem jobs(kPool);
+  const TaskHandle a = jobs.submit([] {});
+  jobs.wait(a);
+  std::atomic<bool> ran{false};
+  const TaskHandle b = jobs.submit_after({a}, [&] { ran.store(true); });
+  jobs.wait(b);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(JobSystem, NestedParallelForDoesNotDeadlock) {
+  JobSystem jobs(kPool);
+  // More outer tasks than workers, each nesting an inner parallel_for: only
+  // the helping wait() keeps this from deadlocking when every worker is
+  // blocked in an outer task.
+  std::atomic<int> inner_total{0};
+  jobs.parallel_for(kPool * 3, [&](std::size_t) {
+    jobs.parallel_for(16, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), static_cast<int>(kPool * 3 * 16));
+}
+
+TEST(JobSystem, ExternalWaitHelpsExecuteTasks) {
+  JobSystem jobs(kPool);
+  // A chain longer than the pool: the external wait on the tail must help
+  // drain the queue rather than deadlock if workers are saturated.
+  std::vector<TaskHandle> chain;
+  std::atomic<int> sum{0};
+  TaskHandle prev;
+  for (int i = 0; i < 200; ++i) {
+    prev = prev.valid()
+               ? jobs.submit_after({prev}, [&] { sum.fetch_add(1); })
+               : jobs.submit([&] { sum.fetch_add(1); });
+    chain.push_back(prev);
+  }
+  jobs.wait(prev);
+  EXPECT_EQ(sum.load(), 200);
+}
+
+TEST(JobSystem, StressManySmallTasks) {
+  JobSystem jobs(kPool);
+  constexpr int kTasks = 5000;
+  std::atomic<long> total{0};
+  std::vector<TaskHandle> handles;
+  handles.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    handles.push_back(jobs.submit([&total, i] { total.fetch_add(i); }));
+  }
+  jobs.wait_all(handles);
+  EXPECT_EQ(total.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+#if FBT_OBS_ENABLED
+TEST(JobSystem, CountersTrackSubmissionAndExecution) {
+  obs::registry().reset();
+  {
+    JobSystem jobs(kPool);
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < 100; ++i) handles.push_back(jobs.submit([] {}));
+    jobs.wait_all(handles);
+  }
+  const std::uint64_t submitted =
+      obs::registry().counter("jobs.submitted").value();
+  const std::uint64_t executed =
+      obs::registry().counter("jobs.executed").value();
+  EXPECT_GE(submitted, 100u);
+  EXPECT_EQ(executed, submitted);
+  // jobs.steals is scheduling-dependent; just confirm it is registered.
+  (void)obs::registry().counter("jobs.steals").value();
+}
+#endif
+
+}  // namespace
+}  // namespace fbt::jobs

@@ -1,0 +1,136 @@
+#include "serve/artifact_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fbt::serve {
+namespace {
+
+CacheKey key_of(const std::string& tag) {
+  return KeyBuilder().str(tag).finish();
+}
+
+std::function<std::uint64_t(const int&)> int_size(std::uint64_t bytes) {
+  return [bytes](const int&) { return bytes; };
+}
+
+TEST(ArtifactCache, MissThenHit) {
+  ArtifactCache cache(1 << 20);
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return std::make_shared<const int>(42);
+  };
+  const std::shared_ptr<const int> first = cache.get_or_compute<int>(
+      "probe", key_of("a"), compute, int_size(64));
+  const std::shared_ptr<const int> second = cache.get_or_compute<int>(
+      "probe", key_of("a"), compute, int_size(64));
+  EXPECT_EQ(*first, 42);
+  EXPECT_EQ(first.get(), second.get());  // same cached object, not a copy
+  EXPECT_EQ(computes, 1);
+  const ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 64u);
+}
+
+TEST(ArtifactCache, KindNamespacesSeparateEntries) {
+  ArtifactCache cache(1 << 20);
+  const auto make = [](int v) {
+    return [v] { return std::make_shared<const int>(v); };
+  };
+  const auto a = cache.get_or_compute<int>("netlist", key_of("same"),
+                                           make(1), int_size(8));
+  const auto b = cache.get_or_compute<int>("faults", key_of("same"),
+                                           make(2), int_size(8));
+  EXPECT_EQ(*a, 1);
+  EXPECT_EQ(*b, 2);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedFirst) {
+  ArtifactCache cache(300);  // fits three 100-byte entries
+  const auto make = [](int v) {
+    return [v] { return std::make_shared<const int>(v); };
+  };
+  cache.get_or_compute<int>("e", key_of("a"), make(1), int_size(100));
+  cache.get_or_compute<int>("e", key_of("b"), make(2), int_size(100));
+  cache.get_or_compute<int>("e", key_of("c"), make(3), int_size(100));
+  // Touch "a" so "b" is now the LRU entry.
+  cache.get_or_compute<int>("e", key_of("a"), make(1), int_size(100));
+  // Inserting "d" must evict "b", keeping the hot "a".
+  cache.get_or_compute<int>("e", key_of("d"), make(4), int_size(100));
+
+  ArtifactCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, 300u);
+
+  const std::uint64_t hits_before = stats.hits;
+  cache.get_or_compute<int>("e", key_of("a"), make(1), int_size(100));
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);  // "a" survived
+  // Evicted "b" was dropped, so a small-cap cache keeps churning on it, but
+  // with a new LRU victim ("c" became the oldest untouched entry).
+  cache.get_or_compute<int>("e", key_of("b"), make(2), int_size(100));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(ArtifactCache, OversizedEntryStillCachedAlone) {
+  // A single entry larger than the cap is admitted (the cache never evicts
+  // below one entry), so a hot oversized artifact is not recomputed per
+  // request.
+  ArtifactCache cache(10);
+  int computes = 0;
+  const auto compute = [&computes] {
+    ++computes;
+    return std::make_shared<const int>(9);
+  };
+  cache.get_or_compute<int>("big", key_of("x"), compute, int_size(1000));
+  cache.get_or_compute<int>("big", key_of("x"), compute, int_size(1000));
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ArtifactCache, EvictedEntrySurvivesForHolders) {
+  ArtifactCache cache(100);
+  const auto a = cache.get_or_compute<int>(
+      "e", key_of("a"), [] { return std::make_shared<const int>(7); },
+      int_size(100));
+  // Insert another full-cap entry; "a" is evicted from the cache but our
+  // shared_ptr keeps the artifact alive.
+  cache.get_or_compute<int>(
+      "e", key_of("b"), [] { return std::make_shared<const int>(8); },
+      int_size(100));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_EQ(*a, 7);
+}
+
+TEST(ArtifactCache, InsertFirstWriterWins) {
+  ArtifactCache cache(1 << 20);
+  const std::string id = ArtifactCache::make_id("race", key_of("k"));
+  const auto winner = std::make_shared<const int>(1);
+  const auto loser = std::make_shared<const int>(2);
+  const auto kept1 = cache.insert(id, winner, 8);
+  const auto kept2 = cache.insert(id, loser, 8);
+  EXPECT_EQ(kept1.get(), winner.get());
+  EXPECT_EQ(kept2.get(), winner.get());  // racing duplicate discarded
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ArtifactCache, AliasMemo) {
+  ArtifactCache cache(1 << 20);
+  EXPECT_FALSE(cache.alias("target:s298").has_value());
+  const CacheKey key = key_of("s298-content");
+  cache.remember_alias("target:s298", key);
+  const std::optional<CacheKey> found = cache.alias("target:s298");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, key);
+  EXPECT_FALSE(cache.alias("target:s386").has_value());
+}
+
+}  // namespace
+}  // namespace fbt::serve

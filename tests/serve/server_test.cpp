@@ -1,0 +1,247 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/bist_flow.hpp"
+#include "jobs/job_system.hpp"
+#include "serve/protocol.hpp"
+
+namespace fbt::serve {
+namespace {
+
+// The CI container may report one core; size the shared pool explicitly so
+// requests genuinely multiplex (the >= 4 concurrent-request acceptance runs
+// under TSan in CI).
+constexpr std::size_t kPool = 4;
+
+ExperimentRequest small_request() {
+  ExperimentRequest request;
+  request.target = "s298";
+  request.driver = "buffers";
+  request.config.target_name = "s298";
+  request.config.driver_name = "buffers";
+  request.config.calibration.num_sequences = 4;
+  request.config.calibration.sequence_length = 400;
+  request.config.generation.segment_length = 200;
+  request.config.generation.max_segment_failures = 2;
+  request.config.generation.max_sequence_failures = 2;
+  request.config.generation.rng_seed = 19;
+  return request;
+}
+
+struct Fixture {
+  jobs::JobSystem jobs{kPool};
+  ArtifactCache cache;
+  ExperimentService service{jobs, cache};
+};
+
+TEST(ExperimentService, PingPongAndStats) {
+  Fixture fx;
+  std::vector<std::string> lines;
+  const auto emit = [&lines](const std::string& l) { lines.push_back(l); };
+
+  EXPECT_TRUE(fx.service.handle_line(
+      "{\"type\": \"ping\", \"id\": \"p1\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"pong\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\": \"p1\""), std::string::npos);
+
+  lines.clear();
+  EXPECT_TRUE(fx.service.handle_line(
+      "{\"type\": \"stats\", \"id\": \"s1\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"stats\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cache_hits\": 0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cache_misses\": 0"), std::string::npos);
+}
+
+TEST(ExperimentService, MalformedRequestEmitsError) {
+  Fixture fx;
+  std::vector<std::string> lines;
+  const auto emit = [&lines](const std::string& l) { lines.push_back(l); };
+
+  EXPECT_TRUE(fx.service.handle_line("this is not json", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"error\""), std::string::npos);
+
+  lines.clear();
+  // Valid JSON, unknown type: still an error, still keeps serving.
+  EXPECT_TRUE(fx.service.handle_line(
+      "{\"type\": \"frobnicate\", \"id\": \"x\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"error\""), std::string::npos);
+
+  lines.clear();
+  // Experiment with no target and no inline netlist.
+  EXPECT_TRUE(fx.service.handle_line(
+      "{\"type\": \"experiment\", \"id\": \"x\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"error\""), std::string::npos);
+}
+
+TEST(ExperimentService, ShutdownRequestStopsServing) {
+  Fixture fx;
+  std::vector<std::string> lines;
+  const auto emit = [&lines](const std::string& l) { lines.push_back(l); };
+  EXPECT_FALSE(fx.service.handle_line(
+      "{\"type\": \"shutdown\", \"id\": \"bye\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\": \"bye\""), std::string::npos);
+}
+
+TEST(ExperimentService, ColdRunMatchesBatchFlow) {
+  Fixture fx;
+  const ExperimentRequest request = small_request();
+  bool hit = true;
+  const ExperimentSummary served = fx.service.run_experiment(request, &hit);
+  EXPECT_FALSE(hit);
+
+  const BistExperimentResult batch = run_bist_experiment(request.config);
+  EXPECT_EQ(served.num_tests, batch.run.num_tests);
+  EXPECT_EQ(served.num_seeds, batch.run.num_seeds);
+  EXPECT_EQ(served.detected, batch.detected);
+  EXPECT_EQ(served.num_faults, batch.faults.size());
+  EXPECT_DOUBLE_EQ(served.fault_coverage_percent,
+                   batch.fault_coverage_percent);
+  EXPECT_DOUBLE_EQ(served.swa_func_percent, batch.swa_func);
+  // Bit-identity down to the per-fault detect matrix and attribution.
+  EXPECT_EQ(hash_detect_counts(served.detect_count),
+            hash_detect_counts(batch.detect_count));
+  EXPECT_EQ(hash_first_detects(served.first_detect),
+            hash_first_detects(batch.run.first_detect));
+}
+
+TEST(ExperimentService, WarmHitIsBitIdenticalToColdMiss) {
+  Fixture fx;
+  const ExperimentRequest request = small_request();
+  bool hit = true;
+  const ExperimentSummary cold = fx.service.run_experiment(request, &hit);
+  ASSERT_FALSE(hit);
+  const ExperimentSummary warm = fx.service.run_experiment(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(hash_detect_counts(cold.detect_count),
+            hash_detect_counts(warm.detect_count));
+  EXPECT_EQ(hash_first_detects(cold.first_detect),
+            hash_first_detects(warm.first_detect));
+  EXPECT_EQ(cold.num_tests, warm.num_tests);
+  EXPECT_DOUBLE_EQ(cold.fault_coverage_percent, warm.fault_coverage_percent);
+  EXPECT_GE(fx.cache.stats().hits, 1u);
+}
+
+TEST(ExperimentService, WarmHitAcrossParallelismKnobs) {
+  // num_threads / speculation_lanes are excluded from experiment keys
+  // (results are bit-identical across them), so the repeat at a different
+  // parallelism setting is a legitimate warm hit.
+  Fixture fx;
+  ExperimentRequest request = small_request();
+  bool hit = true;
+  const ExperimentSummary cold = fx.service.run_experiment(request, &hit);
+  ASSERT_FALSE(hit);
+  request.config.num_threads = 3;
+  request.config.speculation_lanes = 8;
+  const ExperimentSummary warm = fx.service.run_experiment(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(hash_detect_counts(cold.detect_count),
+            hash_detect_counts(warm.detect_count));
+  EXPECT_EQ(hash_first_detects(cold.first_detect),
+            hash_first_detects(warm.first_detect));
+}
+
+TEST(ExperimentService, ConfigChangeIsAFreshMiss) {
+  Fixture fx;
+  ExperimentRequest request = small_request();
+  bool hit = true;
+  const ExperimentSummary first = fx.service.run_experiment(request, &hit);
+  ASSERT_FALSE(hit);
+  request.config.generation.rng_seed += 1;
+  const ExperimentSummary second = fx.service.run_experiment(request, &hit);
+  EXPECT_FALSE(hit);
+  // Different seed, different run (detect attribution differs with
+  // overwhelming probability on this circuit).
+  EXPECT_NE(hash_first_detects(first.first_detect),
+            hash_first_detects(second.first_detect));
+}
+
+TEST(ExperimentService, ConcurrentRequestsMultiplexOnePool) {
+  // The TSan acceptance: >= 4 concurrent experiment requests share one
+  // JobSystem without deadlock, and every result is bit-identical.
+  Fixture fx;
+  const ExperimentRequest request = small_request();
+  constexpr std::size_t kClients = 4;
+  std::vector<ExperimentSummary> results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fx, &request, &results, c] {
+      bool h = false;
+      results[c] = fx.service.run_experiment(request, &h);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const std::string detect = hash_detect_counts(results[0].detect_count);
+  const std::string first = hash_first_detects(results[0].first_detect);
+  for (std::size_t c = 1; c < kClients; ++c) {
+    EXPECT_EQ(hash_detect_counts(results[c].detect_count), detect) << c;
+    EXPECT_EQ(hash_first_detects(results[c].first_detect), first) << c;
+  }
+  EXPECT_EQ(fx.service.requests_total(), kClients);
+}
+
+TEST(ExperimentService, HandleLineExperimentEmitsResultWithReport) {
+  Fixture fx;
+  std::vector<std::string> lines;
+  const auto emit = [&lines](const std::string& l) { lines.push_back(l); };
+  const std::string line =
+      "{\"type\": \"experiment\", \"id\": \"e1\", \"target\": \"s298\", "
+      "\"driver\": \"buffers\", \"stream_progress\": false, \"config\": "
+      "{\"cal_sequences\": 4, \"cal_length\": 400, \"segment_length\": 200, "
+      "\"max_segment_failures\": 2, \"max_sequence_failures\": 2, "
+      "\"rng_seed\": 19}}";
+  EXPECT_TRUE(fx.service.handle_line(line, emit));
+  ASSERT_FALSE(lines.empty());
+  const std::string& result = lines.back();
+  EXPECT_NE(result.find("\"type\": \"result\""), std::string::npos);
+  EXPECT_NE(result.find("\"id\": \"e1\""), std::string::npos);
+  EXPECT_NE(result.find("\"cache\": \"miss\""), std::string::npos);
+  EXPECT_NE(result.find("\"detect_hash\": \""), std::string::npos);
+  EXPECT_NE(result.find("\"report\": {"), std::string::npos);
+  // NDJSON framing: the embedded report must be compacted to one line.
+  EXPECT_EQ(result.find('\n'), std::string::npos);
+
+  lines.clear();
+  EXPECT_TRUE(fx.service.handle_line(line, emit));
+  EXPECT_NE(lines.back().find("\"cache\": \"hit\""), std::string::npos);
+}
+
+TEST(ExperimentService, InlineNetlistSharesKeyWithTextualVariant) {
+  Fixture fx;
+  const std::string bench = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+                            "f = DFF(y)\ny = AND(a, b)\n";
+  const std::string noisy = "# same circuit\nINPUT(a)\n INPUT(b)\n"
+                            "OUTPUT(y)\nf = DFF(y)\ny = AND(a,b)\n";
+  ExperimentRequest request = small_request();
+  request.target = "inline-a";
+  request.netlist_bench = bench;
+  request.config.calibration.num_sequences = 2;
+  request.config.calibration.sequence_length = 64;
+  request.config.generation.segment_length = 32;
+  bool hit = true;
+  const ExperimentSummary cold = fx.service.run_experiment(request, &hit);
+  EXPECT_FALSE(hit);
+  // The same circuit spelled differently canonicalizes to the same content
+  // key -- a warm hit.
+  request.target = "inline-b";
+  request.netlist_bench = noisy;
+  const ExperimentSummary warm = fx.service.run_experiment(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(hash_detect_counts(cold.detect_count),
+            hash_detect_counts(warm.detect_count));
+}
+
+}  // namespace
+}  // namespace fbt::serve

@@ -7,7 +7,7 @@
 //   fbt_report diff <baseline.json> <current.json>
 //              [--max-coverage-drop <pts>] [--max-tests-increase <pct>]
 //              [--max-walltime-increase <pct>] [--max-peak-rss-increase <pct>]
-//              [--max-bytes-per-gate-increase <pct>]
+//              [--max-bytes-per-gate-increase <pct>] [--min-warm-speedup <x>]
 //       Compares two run reports and exits nonzero when the current report
 //       regresses past a threshold. Negative threshold disables the check;
 //       walltime and memory gating are off unless requested (walltime and
@@ -107,6 +107,8 @@ int cmd_diff(const fbt::Cli& cli) {
   thresholds.max_bytes_per_gate_increase_percent =
       cli.get_double("max-bytes-per-gate-increase",
                      thresholds.max_bytes_per_gate_increase_percent);
+  thresholds.min_warm_speedup =
+      cli.get_double("min-warm-speedup", thresholds.min_warm_speedup);
 
   const fbt::obs::DiffResult result =
       fbt::obs::diff_run_reports(baseline, current, thresholds);

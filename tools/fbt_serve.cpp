@@ -1,0 +1,192 @@
+// fbt_serve: the long-running experiment daemon and its one-shot client.
+//
+//   fbt_serve start --socket <path> [--threads N] [--cache-mb M]
+//                   [--report <REPORT_serve.json>] [--journal <f.ndjson>]
+//       Binds an AF_UNIX socket and serves NDJSON experiment requests until
+//       SIGINT/SIGTERM or a {"type":"shutdown"} request. On graceful exit it
+//       drains in-flight requests, flushes the NDJSON journal, and writes a
+//       schema-v3 run report.
+//
+//   fbt_serve request --socket <path> --target <name> [--driver <name>]
+//                     [--id <id>] [--json <raw request line>]
+//                     [--no-progress] [--cal-sequences N] [--cal-length N]
+//                     [--segment-length N] [--max-segment-failures N]
+//                     [--max-sequence-failures N] [--rng-seed N]
+//                     [--num-threads N] [--speculation-lanes N]
+//       Connects, sends one experiment request (or the raw --json line),
+//       prints every response line, and exits when the result (or an error)
+//       arrives. Exit codes: 0 result received, 1 server error, 2 usage/IO.
+//
+// Protocol details: src/serve/protocol.hpp. Quickstart: README.md.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/event_journal.hpp"
+#include "obs/run_report.hpp"
+#include "serve/server.hpp"
+#include "serve/shutdown.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int run_start(const fbt::Cli& cli) {
+  const std::string socket_path = cli.get("socket", "/tmp/fbt_serve.sock");
+  const std::size_t threads =
+      static_cast<std::size_t>(cli.get_int("threads", 0));
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-mb", 256)) << 20;
+  const std::string report_path = cli.get("report", "REPORT_serve.json");
+  const std::string journal_path = cli.get("journal", "JOURNAL_serve.ndjson");
+
+  // Watcher first: its signal mask must be inherited by the pool and the
+  // connection threads, so SIGINT/SIGTERM only ever reach sigwait.
+  fbt::serve::SocketServer* active_server = nullptr;
+  fbt::serve::GracefulShutdown shutdown([&active_server](int sig) {
+    std::fprintf(stderr, "fbt_serve: caught signal %d, draining\n", sig);
+    if (active_server != nullptr) active_server->request_stop();
+  });
+
+  fbt::jobs::JobSystem jobs(threads);
+  fbt::serve::ArtifactCache cache(cache_bytes);
+  fbt::serve::ExperimentService service(jobs, cache);
+  fbt::serve::SocketServer server(service, socket_path);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "fbt_serve: %s\n", error.c_str());
+    return 2;
+  }
+  active_server = &server;
+  std::fprintf(stderr, "fbt_serve: listening on %s (%zu workers)\n",
+               socket_path.c_str(), jobs.size());
+  server.serve_forever();  // joins connection threads = drains in-flight work
+  active_server = nullptr;
+
+  // Graceful exit: flush the journal and write the run report.
+  const fbt::serve::ArtifactCache::Stats stats = cache.stats();
+  fbt::obs::journal().write_ndjson(journal_path);
+  fbt::obs::RunReportData report = fbt::obs::collect_run_report(
+      "fbt_serve",
+      {{"socket", socket_path},
+       {"requests_total", std::to_string(service.requests_total())},
+       {"cache_hits", std::to_string(stats.hits)},
+       {"cache_misses", std::to_string(stats.misses)},
+       {"cache_evictions", std::to_string(stats.evictions)}});
+  fbt::obs::write_run_report(report_path, report);
+  const int sig = shutdown.signal_received();
+  std::fprintf(stderr, "fbt_serve: wrote %s, exiting%s\n", report_path.c_str(),
+               sig != 0 ? " on signal" : "");
+  return 0;
+}
+
+std::string build_request_line(const fbt::Cli& cli) {
+  if (cli.has("json")) return cli.get("json", "");
+  std::string line = "{\"type\": \"experiment\", \"id\": \"" +
+                     cli.get("id", "cli") + "\"";
+  line += ", \"target\": \"" + cli.get("target", "") + "\"";
+  const std::string driver = cli.get("driver", "");
+  if (!driver.empty()) line += ", \"driver\": \"" + driver + "\"";
+  if (cli.has("no-progress")) line += ", \"stream_progress\": false";
+  line += ", \"config\": {";
+  line += "\"cal_sequences\": " + std::to_string(cli.get_int("cal-sequences", 4));
+  line += ", \"cal_length\": " + std::to_string(cli.get_int("cal-length", 400));
+  line += ", \"segment_length\": " +
+          std::to_string(cli.get_int("segment-length", 200));
+  line += ", \"max_segment_failures\": " +
+          std::to_string(cli.get_int("max-segment-failures", 2));
+  line += ", \"max_sequence_failures\": " +
+          std::to_string(cli.get_int("max-sequence-failures", 2));
+  line += ", \"rng_seed\": " + std::to_string(cli.get_int("rng-seed", 19));
+  line += ", \"num_threads\": " + std::to_string(cli.get_int("num-threads", 1));
+  line += ", \"speculation_lanes\": " +
+          std::to_string(cli.get_int("speculation-lanes", 64));
+  line += "}}";
+  return line;
+}
+
+int run_request(const fbt::Cli& cli) {
+  const std::string socket_path = cli.get("socket", "/tmp/fbt_serve.sock");
+  if (!cli.has("json") && cli.get("target", "").empty()) {
+    std::fprintf(stderr, "fbt_serve request: --target or --json required\n");
+    return 2;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "fbt_serve: socket path too long\n");
+    return 2;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+    std::fprintf(stderr, "fbt_serve: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    return 2;
+  }
+  std::string line = build_request_line(cli);
+  line.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "fbt_serve: send failed\n");
+      ::close(fd);
+      return 2;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Print response lines until a terminal one ("result", "error", "pong",
+  // "stats", "bye") arrives.
+  std::string buffer;
+  char chunk[4096];
+  int status = 2;
+  bool done = false;
+  while (!done) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && !done; nl = buffer.find('\n', start)) {
+      const std::string response = buffer.substr(start, nl - start);
+      start = nl + 1;
+      std::printf("%s\n", response.c_str());
+      if (response.find("\"type\": \"result\"") != std::string::npos ||
+          response.find("\"type\": \"pong\"") != std::string::npos ||
+          response.find("\"type\": \"stats\"") != std::string::npos ||
+          response.find("\"type\": \"bye\"") != std::string::npos) {
+        status = 0;
+        done = true;
+      } else if (response.find("\"type\": \"error\"") != std::string::npos) {
+        status = 1;
+        done = true;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fbt::Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: fbt_serve start|request [--socket <path>] ...\n");
+    return 2;
+  }
+  const std::string& mode = cli.positional()[0];
+  if (mode == "start") return run_start(cli);
+  if (mode == "request") return run_request(cli);
+  std::fprintf(stderr, "fbt_serve: unknown mode \"%s\"\n", mode.c_str());
+  return 2;
+}
