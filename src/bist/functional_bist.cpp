@@ -146,7 +146,9 @@ FunctionalBistResult FunctionalBistGenerator::run(
 
   FunctionalBistResult result;
   result.first_detect.assign(faults.size(), FaultFirstDetect{});
-  ParallelBroadsideFaultSim fsim(*netlist_, config_.num_threads, jobs_);
+  ParallelBroadsideFaultSim fsim(
+      *netlist_, config_.num_threads, jobs_,
+      static_cast<std::uint32_t>(config_.fault_pack_width), flat_);
   SeqSim sim = flat_ != nullptr ? SeqSim(*netlist_, flat_) : SeqSim(*netlist_);
 
   // Provenance bookkeeping: applied-test stream position and the running

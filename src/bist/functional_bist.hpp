@@ -72,6 +72,11 @@ struct FunctionalBistConfig {
   /// 1 keeps the scalar reference loop; state-holding and pattern-store
   /// configurations fall back to scalar automatically.
   std::size_t speculation_lanes = 64;
+  /// Fault lanes packed per machine word inside each grading shard (PPSFP;
+  /// clamped to [1, 64]). Detect counts, detection matrices, and first-detect
+  /// attribution are bit-identical for any width; 1 keeps the serial
+  /// reference engine.
+  std::size_t fault_pack_width = 64;
 
   /// State holding (§4.5): when hold_period_log2 = h >= 1, the flops listed
   /// in hold_set keep their values on every transition out of a cycle whose

@@ -31,11 +31,13 @@ using PerTestFaults = std::vector<std::vector<std::uint32_t>>;
 
 /// Simulates the full detection matrix (no dropping) and transposes it to
 /// per-test fault lists. `num_threads` > 1 shards the fault list across a
-/// worker pool; the result is bit-identical for any thread count.
+/// worker pool and `fault_pack_width` > 1 packs faults into bit-lanes inside
+/// each shard (PPSFP); the result is bit-identical for any combination.
 PerTestFaults detected_by_test(const Netlist& netlist, const TestSet& tests,
                                const TransitionFaultList& faults,
                                std::size_t num_threads = 1,
-                               jobs::JobSystem* jobs = nullptr);
+                               jobs::JobSystem* jobs = nullptr,
+                               std::uint32_t fault_pack_width = 1);
 
 /// Indices (into the original set) of the kept tests, ascending.
 std::vector<std::size_t> reverse_order_compaction(
@@ -62,7 +64,8 @@ std::vector<std::size_t> reduce_groups(const Netlist& netlist,
                                        const std::vector<std::size_t>& group_of,
                                        std::size_t num_groups,
                                        std::size_t num_threads = 1,
-                                       jobs::JobSystem* jobs = nullptr);
+                                       jobs::JobSystem* jobs = nullptr,
+                                       std::uint32_t fault_pack_width = 1);
 std::vector<std::size_t> reduce_groups(const PerTestFaults& per_test,
                                        std::size_t num_faults,
                                        const std::vector<std::size_t>& group_of,

@@ -6,15 +6,26 @@
 // flip-flop D inputs. Supports fault dropping (n-detect) for test-set grading
 // and a full per-test detection matrix for the transition-path-delay-fault
 // engine of Chapter 2.
+//
+// Two propagation engines share the good-machine block evaluation:
+//  * serial (fault_pack_width == 1, the reference): one fault at a time, 64
+//    tests per word (BitSim::fault_propagate);
+//  * PPSFP (fault_pack_width > 1): up to `fault_pack_width` faults per word,
+//    one test at a time, against the shared fault-free two-frame trace
+//    (PackedFaultProp). Detect counts, detection matrices, and first-detect
+//    provenance are bit-identical across pack widths.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "fault/broadside_test.hpp"
 #include "fault/fault.hpp"
+#include "netlist/flat_fanins.hpp"
 #include "sim/bitsim.hpp"
+#include "sim/packed_faultprop.hpp"
 
 namespace fbt {
 
@@ -60,7 +71,18 @@ inline std::uint64_t detection_matrix_footprint_bytes(
 
 class BroadsideFaultSim {
  public:
-  explicit BroadsideFaultSim(const Netlist& netlist);
+  /// `fault_pack_width` > 1 selects the PPSFP engine: the active fault list
+  /// is walked in groups of up to `fault_pack_width` (clamped to [1, 64])
+  /// bit-lanes propagated together against the shared good-machine trace.
+  /// 1 (and 0) keeps the serial reference engine. `flat` optionally shares a
+  /// pre-built CSR of `netlist` with the packed engine (nullptr rebuilds
+  /// one; ignored when serial).
+  explicit BroadsideFaultSim(const Netlist& netlist,
+                             std::uint32_t fault_pack_width = 1,
+                             std::shared_ptr<const FlatFanins> flat = nullptr);
+
+  /// Resolved pack width (>= 1; > 1 means the PPSFP engine is active).
+  std::uint32_t fault_pack_width() const { return pack_width_; }
 
   /// Grades `tests` against `faults` with fault dropping: a fault whose
   /// detection count in `detect_count` reaches `detect_limit` is skipped.
@@ -83,11 +105,19 @@ class BroadsideFaultSim {
   /// Single-query convenience: does `test` detect `fault`?
   bool detects(const BroadsideTest& test, const TransitionFault& fault);
 
-  /// Bytes owned by the embedded simulator and frame buffers
+  /// Bytes owned by the embedded simulators and frame buffers
   /// (resource telemetry).
   std::uint64_t footprint_bytes() const {
-    return sizeof(*this) - sizeof(sim_) + sim_.footprint_bytes() +
-           (v1_values_.size() + state2_.size()) * sizeof(std::uint64_t);
+    std::uint64_t bytes =
+        sizeof(*this) - sizeof(sim_) + sim_.footprint_bytes() +
+        (v1_values_.size() + state2_.size() + pack_scratch_.size() +
+         good2_values_.size() + launch_tx_.size() + needy_.size()) *
+            sizeof(std::uint64_t) +
+        (chunk_sites_.size() + site_internal_.size()) * sizeof(NodeId) +
+        (chunk_fault_.size() + chunk_pos_.size() + block_hits_.size()) *
+            sizeof(std::uint32_t);
+    if (packed_ != nullptr) bytes += packed_->footprint_bytes();
+    return bytes;
   }
 
  private:
@@ -96,14 +126,46 @@ class BroadsideFaultSim {
   void load_block(std::span<const BroadsideTest> tests, std::size_t first,
                   std::size_t count);
 
-  // Detection mask of `fault` over the currently loaded block.
+  // Detection mask of `fault` over the currently loaded block (serial
+  // engine).
   std::uint64_t fault_mask(const TransitionFault& fault);
+
+  // Copies the loaded block's frame-2 fault-free words out of the BitSim and
+  // binds them to the packed kernel (PPSFP engine).
+  void bind_packed_block();
+
+  // Launch mask of `fault` over the currently loaded block: tests whose
+  // fault-free trace makes the line transition the faulted way.
+  std::uint64_t launch_mask(const TransitionFault& fault) const {
+    const std::uint64_t w1 = v1_values_[fault.line];
+    const std::uint64_t w2 = good2_values_[fault.line];
+    return block_mask_ & (fault.rising ? (~w1 & w2) : (w1 & ~w2));
+  }
 
   const Netlist* netlist_;
   BitSim sim_;
   std::vector<std::uint64_t> v1_values_;  // frame-1 value words per node
   std::vector<std::uint64_t> state2_;     // captured state words per flop
+  std::vector<std::uint64_t> pack_scratch_;  // source-word packing scratch
   std::uint64_t block_mask_ = 0;          // valid-pattern bits of the block
+
+  // PPSFP engine state (empty/null when pack_width_ == 1). Scheduling is
+  // test-major: each block transposes the active faults' launch masks into
+  // per-test lane words (launch_tx_), and every propagation packs up to
+  // pack_width_ still-needy faults of one test into full lane words (fixed
+  // fault groups would leave most lanes idle -- a typical test launches only
+  // a few percent of any 64-fault group).
+  std::uint32_t pack_width_ = 1;
+  std::unique_ptr<PackedFaultProp> packed_;
+  std::vector<std::uint64_t> good2_values_;  // frame-2 value words per node
+  std::vector<std::uint64_t> launch_tx_;  // [t * groups + g]: launch lanes
+  std::vector<std::uint64_t> needy_;      // per active-list position: still
+                                          // short of the limit this block
+  std::vector<NodeId> site_internal_;     // per fault: internal site id
+  std::vector<NodeId> chunk_sites_;          // per lane: fault site
+  std::vector<std::uint32_t> chunk_fault_;   // per lane: fault index
+  std::vector<std::uint32_t> chunk_pos_;     // per lane: active-list position
+  std::vector<std::uint32_t> block_hits_;    // per fault: hits this block
 };
 
 }  // namespace fbt

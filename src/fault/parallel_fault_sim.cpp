@@ -9,15 +9,20 @@
 
 namespace fbt {
 
-ParallelBroadsideFaultSim::ParallelBroadsideFaultSim(const Netlist& netlist,
-                                                     std::size_t num_threads,
-                                                     jobs::JobSystem* jobs)
+ParallelBroadsideFaultSim::ParallelBroadsideFaultSim(
+    const Netlist& netlist, std::size_t num_threads, jobs::JobSystem* jobs,
+    std::uint32_t fault_pack_width, std::shared_ptr<const FlatFanins> flat)
     : netlist_(&netlist),
       jobs_(jobs != nullptr ? jobs : &jobs::global_jobs()) {
   const std::size_t shards = jobs::JobSystem::resolve_threads(num_threads);
+  if (fault_pack_width > 1 && flat == nullptr) {
+    // One immutable CSR shared by every shard's packed kernel.
+    flat = std::make_shared<const FlatFanins>(netlist);
+  }
   shard_sims_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    shard_sims_.push_back(std::make_unique<BroadsideFaultSim>(netlist));
+    shard_sims_.push_back(
+        std::make_unique<BroadsideFaultSim>(netlist, fault_pack_width, flat));
   }
 }
 

@@ -26,13 +26,22 @@ class ParallelBroadsideFaultSim {
  public:
   /// `num_threads` = 0 selects hardware_concurrency (JobSystem's rule); it
   /// names the shard count. Execution multiplexes `jobs` (the process-wide
-  /// pool when null); `jobs` must outlive this object.
-  explicit ParallelBroadsideFaultSim(const Netlist& netlist,
-                                     std::size_t num_threads = 0,
-                                     jobs::JobSystem* jobs = nullptr);
+  /// pool when null); `jobs` must outlive this object. `fault_pack_width`
+  /// > 1 switches every shard to the PPSFP engine (threads x pack_width
+  /// effective fault parallelism); `flat` optionally shares a pre-built CSR
+  /// of `netlist` with the shards (nullptr builds one, once, when packed).
+  explicit ParallelBroadsideFaultSim(
+      const Netlist& netlist, std::size_t num_threads = 0,
+      jobs::JobSystem* jobs = nullptr, std::uint32_t fault_pack_width = 1,
+      std::shared_ptr<const FlatFanins> flat = nullptr);
 
   /// Shard count (>= 1) after resolving the knob.
   std::size_t num_threads() const { return shard_sims_.size(); }
+
+  /// Resolved per-shard fault pack width (>= 1).
+  std::uint32_t fault_pack_width() const {
+    return shard_sims_[0]->fault_pack_width();
+  }
 
   /// Same contract as BroadsideFaultSim::grade, bit-identical results --
   /// including `provenance`, whose per-shard pieces are merged back into the

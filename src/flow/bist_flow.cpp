@@ -76,6 +76,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config,
   gen.bounded = !unconstrained;
   gen.num_threads = config.num_threads;
   gen.speculation_lanes = config.speculation_lanes;
+  gen.fault_pack_width = config.fault_pack_width;
 
   ScanChains scan(target, config.scan);
   BistExperimentResult result{.target = std::move(target),
@@ -118,7 +119,8 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config,
             "internal: test/sequence bookkeeping mismatch");
     const std::vector<std::size_t> kept =
         reduce_groups(result.target, result.run.tests, result.faults, group_of,
-                      result.run.sequences.size(), config.num_threads, &jobs);
+                      result.run.sequences.size(), config.num_threads, &jobs,
+                      static_cast<std::uint32_t>(config.fault_pack_width));
     if (kept.size() < result.run.sequences.size()) {
       FunctionalBistResult reduced;
       reduced.newly_detected = result.run.newly_detected;
@@ -185,6 +187,7 @@ BistExperimentResult run_bist_experiment(const BistExperimentConfig& config,
   FBT_OBS_GAUGE_SET("flow.num_threads",
                     jobs::JobSystem::resolve_threads(config.num_threads));
   FBT_OBS_GAUGE_SET("flow.speculation_lanes", config.speculation_lanes);
+  FBT_OBS_GAUGE_SET("flow.fault_pack_width", config.fault_pack_width);
   FBT_OBS_GAUGE_SET("flow.num_tests", result.run.num_tests);
   FBT_OBS_GAUGE_SET("flow.num_seeds", result.run.num_seeds);
   FBT_OBS_GAUGE_SET("flow.swa_func_percent", result.swa_func);

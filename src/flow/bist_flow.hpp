@@ -39,6 +39,11 @@ struct BistExperimentConfig {
   /// evaluation, clamped to 64). 1 forces the scalar reference loop; results
   /// are bit-identical for any value. Overrides generation.speculation_lanes.
   std::size_t speculation_lanes = 64;
+  /// Fault lanes packed per machine word inside each grading shard (PPSFP,
+  /// clamped to [1, 64]); applies to every fault-grading step of the flow.
+  /// 1 forces the serial reference engine; results are bit-identical for any
+  /// value. Overrides generation.fault_pack_width.
+  std::size_t fault_pack_width = 64;
   /// Emit the on-chip BIST machinery as Verilog after generation. Requires a
   /// scan partition whose chain lengths all divide Lsc -- use
   /// equal_partition_scan_config for `scan` (emit_bist_rtl fails loudly

@@ -126,6 +126,11 @@ void register_core_counters() {
   // fired (few faults or one thread), vs. parallelism never engaged at all.
   reg.counter("fault.serial_grade_fallbacks");
   reg.gauge("fault.parallel_threads");
+  // PPSFP packed fault grading: pack-efficiency counters, registered so
+  // serial configurations (pack width 1) still report them as zeros.
+  reg.counter("fault.pack_groups_simulated");
+  reg.counter("fault.pack_lanes_wasted");
+  reg.counter("fault.pack_diff_words_propagated");
   // Serving layer (fbt_serve daemon + work-stealing job system): registered
   // so batch runs report them as zeros and dashboards can always render the
   // Serving panel from a uniform metric set.
@@ -138,6 +143,7 @@ void register_core_counters() {
   reg.counter("jobs.steals");
   reg.gauge("flow.num_threads");
   reg.gauge("flow.speculation_lanes");
+  reg.gauge("flow.fault_pack_width");
   reg.gauge("flow.fault_coverage_percent");
   reg.gauge("flow.num_tests");
   reg.gauge("flow.num_seeds");

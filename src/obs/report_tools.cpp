@@ -404,6 +404,19 @@ DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
     }
   }
 
+  const double pack_speedup =
+      metric_value(current, "gauges", "fault.pack_speedup_64");
+  if (thresholds.min_pack_speedup >= 0.0) {
+    summary << "pack_speedup_64: "
+            << num(metric_value(baseline, "gauges", "fault.pack_speedup_64"))
+            << " -> " << num(pack_speedup) << "\n";
+    if (pack_speedup < thresholds.min_pack_speedup) {
+      result.violations.push_back(
+          "PPSFP pack-64 grade speedup " + num(pack_speedup) +
+          "x below required " + num(thresholds.min_pack_speedup) + "x");
+    }
+  }
+
   summary << "changed metrics:\n";
   append_metric_deltas(baseline, current, "gauges", summary);
   append_metric_deltas(baseline, current, "counters", summary);

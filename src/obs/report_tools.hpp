@@ -35,6 +35,10 @@ struct DiffThresholds {
   /// gauge (cold latency / warm latency from bench_serve). Disabled by
   /// default; the serve CI job gates it at 10.
   double min_warm_speedup = -1.0;
+  /// Minimum required value of the current report's fault.pack_speedup_64
+  /// gauge (serial grade walltime / pack-width-64 grade walltime from
+  /// bench_ppsfp). Disabled by default; the ppsfp CI job gates it at 4.
+  double min_pack_speedup = -1.0;
 };
 
 struct DiffResult {

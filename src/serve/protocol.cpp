@@ -124,6 +124,8 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     cfg.num_threads = uint_or(o, "num_threads", cfg.num_threads);
     cfg.speculation_lanes =
         uint_or(o, "speculation_lanes", cfg.speculation_lanes);
+    cfg.fault_pack_width =
+        uint_or(o, "fault_pack_width", cfg.fault_pack_width);
     cfg.emit_rtl = bool_or(o, "emit_rtl", cfg.emit_rtl);
     cfg.rtl_misr_stages = static_cast<unsigned>(
         uint_or(o, "rtl_misr_stages", cfg.rtl_misr_stages));

@@ -4,6 +4,8 @@
 
 #include "circuits/s27.hpp"
 #include "circuits/synth.hpp"
+#include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
 #include "sim/seqsim.hpp"
 #include "sim/value.hpp"
 #include "util/rng.hpp"
@@ -194,6 +196,43 @@ TEST(FaultSim, State2OverrideChangesDetection) {
   }
   EXPECT_TRUE(found);
 }
+
+#if FBT_OBS_ENABLED
+TEST(FaultSim, TestsGradedCountsOnlyLoadedTests) {
+  // The grade walk exits as soon as the active fault list empties, so the
+  // fault.tests_graded counter must advance by the tests actually loaded --
+  // counting tests.size() would overstate grading throughput on every
+  // early-exiting call.
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  Pcg32 rng(67);
+  TestSet tests;
+  for (int i = 0; i < 256; ++i) tests.push_back(random_test(nl, rng));
+  obs::Counter& graded = obs::registry().counter("fault.tests_graded");
+
+  // Every fault pre-saturated: the walk loads no block at all.
+  BroadsideFaultSim sim(nl);
+  std::vector<std::uint32_t> counts(faults.size(), 1);
+  std::uint64_t before = graded.value();
+  sim.grade(tests, faults, counts, 1);
+  EXPECT_EQ(graded.value() - before, 0u);
+
+  // Fresh grade at limit 1 on 256 random tests: s27's collapsed faults all
+  // drop well before the last block, so the counter must advance by full
+  // 64-test blocks but stay short of the whole set -- and by the identical
+  // amount for the serial and the packed engine (same block walk).
+  for (const std::uint32_t width : {1u, 64u}) {
+    BroadsideFaultSim engine(nl, width);
+    std::fill(counts.begin(), counts.end(), 0);
+    before = graded.value();
+    engine.grade(tests, faults, counts, 1);
+    const std::uint64_t loaded = graded.value() - before;
+    EXPECT_GT(loaded, 0u) << "width=" << width;
+    EXPECT_LT(loaded, tests.size()) << "width=" << width;
+    EXPECT_EQ(loaded % 64, 0u) << "width=" << width;
+  }
+}
+#endif
 
 TEST(FaultSim, SecondStateMatchesSeqSim) {
   const Netlist nl = make_s27();

@@ -118,6 +118,47 @@ TEST(ParallelFaultSim, ProvenanceOnlyRecordsFreshFirstDetections) {
   }
 }
 
+// Regression for the provenance merge when shards exhaust at different
+// blocks: a shard whose faults all start saturated loads zero blocks and
+// contributes nothing, so the merged block list must come from whichever
+// shard walked furthest -- matching the serial walk over the same initial
+// credit, not the union padded with phantom entries or the intersection
+// truncated to the earliest-exiting shard.
+TEST(ParallelFaultSim, ProvenanceBlocksMergeAcrossEarlyExhaustingShards) {
+  const Netlist nl = make_s27();
+  const TransitionFaultList faults = TransitionFaultList::collapsed(nl);
+  const TestSet tests = random_tests(nl, 130, 29);  // three blocks
+  const std::size_t half = faults.size() / 2;
+
+  // Saturate one half of the fault list up front; with two threads that
+  // half is (most of) one shard, which exhausts before loading any block.
+  for (const bool saturate_low : {true, false}) {
+    std::vector<std::uint32_t> init(faults.size(), 0);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if ((f < half) == saturate_low) init[f] = 4;
+    }
+
+    BroadsideFaultSim serial(nl);
+    std::vector<std::uint32_t> serial_counts = init;
+    GradeProvenance serial_prov;
+    serial.grade(tests, faults, serial_counts, 4, &serial_prov);
+    ASSERT_GT(serial_prov.blocks.size(), 1u);  // survivors span blocks
+
+    for (const std::size_t threads : thread_counts_under_test()) {
+      ParallelBroadsideFaultSim parallel(nl, threads);
+      std::vector<std::uint32_t> counts = init;
+      GradeProvenance prov;
+      parallel.grade(tests, faults, counts, 4, &prov);
+      EXPECT_EQ(counts, serial_counts)
+          << "threads=" << threads << " low=" << saturate_low;
+      EXPECT_EQ(prov.first_hits, serial_prov.first_hits)
+          << "threads=" << threads << " low=" << saturate_low;
+      EXPECT_EQ(prov.blocks, serial_prov.blocks)
+          << "threads=" << threads << " low=" << saturate_low;
+    }
+  }
+}
+
 TEST(ParallelFaultSim, ZeroThreadsResolvesToHardwareConcurrency) {
   const Netlist nl = make_s27();
   ParallelBroadsideFaultSim sim(nl, 0);

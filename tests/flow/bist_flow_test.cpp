@@ -155,6 +155,32 @@ TEST(BistFlow, ParallelGradingReproducesTheSerialFlowExactly) {
   }
 }
 
+TEST(BistFlow, PackedGradingReproducesTheSerialFlowExactly) {
+  // fault_pack_width selects the grading engine (serial reference at 1,
+  // PPSFP at 64) for every fault-grading step of the flow; the generated
+  // plan must be bit-identical either way.
+  BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  cfg.fault_pack_width = 1;
+  const BistExperimentResult serial = run_bist_experiment(cfg);
+  cfg.fault_pack_width = 64;
+  const BistExperimentResult packed = run_bist_experiment(cfg);
+
+  EXPECT_EQ(packed.detect_count, serial.detect_count);
+  EXPECT_EQ(packed.detected, serial.detected);
+  EXPECT_EQ(packed.run.num_seeds, serial.run.num_seeds);
+  EXPECT_EQ(packed.run.num_tests, serial.run.num_tests);
+  ASSERT_EQ(packed.run.sequences.size(), serial.run.sequences.size());
+  for (std::size_t s = 0; s < serial.run.sequences.size(); ++s) {
+    const auto& ps = packed.run.sequences[s].segments;
+    const auto& ss = serial.run.sequences[s].segments;
+    ASSERT_EQ(ps.size(), ss.size());
+    for (std::size_t i = 0; i < ss.size(); ++i) {
+      EXPECT_EQ(ps[i].seed, ss[i].seed);
+      EXPECT_EQ(ps[i].length, ss[i].length);
+    }
+  }
+}
+
 TEST(BistFlow, EmitsRtlThatTracksTheGeneratedPlan) {
   BistExperimentConfig cfg = small_experiment("s298", "buffers");
   cfg.generation.tpg.lfsr_stages = 8;

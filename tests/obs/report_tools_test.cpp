@@ -125,6 +125,26 @@ TEST(DiffRunReports, NegativeThresholdDisablesCheck) {
   EXPECT_FALSE(diff_run_reports(base, cur, off).regression);
 }
 
+TEST(DiffRunReports, PackSpeedupGateIsOptIn) {
+  // bench_ppsfp's gated gauge: serial grade walltime / pack-64 walltime.
+  // The gate reads the *current* report (the bound is absolute, not
+  // relative to the baseline) and is off unless requested.
+  const JsonValue base =
+      parse_or_die(R"({"gauges": {"fault.pack_speedup_64": 4.5}})");
+  const JsonValue cur =
+      parse_or_die(R"({"gauges": {"fault.pack_speedup_64": 3.2}})");
+  EXPECT_FALSE(diff_run_reports(base, cur, DiffThresholds{}).regression);
+
+  DiffThresholds gated;
+  gated.min_pack_speedup = 4.0;
+  const DiffResult result = diff_run_reports(base, cur, gated);
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("pack-64"), std::string::npos);
+
+  gated.min_pack_speedup = 3.0;
+  EXPECT_FALSE(diff_run_reports(base, cur, gated).regression);
+}
+
 TEST(DiffRunReports, MissingSectionsDiffAsZeros) {
   const JsonValue base = parse_or_die("{}");
   const JsonValue cur = parse_or_die(report_json(91.25, 500, 10.0));

@@ -149,6 +149,18 @@ TEST(ExperimentService, WarmHitAcrossParallelismKnobs) {
             hash_detect_counts(warm.detect_count));
   EXPECT_EQ(hash_first_detects(cold.first_detect),
             hash_first_detects(warm.first_detect));
+
+  // fault_pack_width only changes how faults are packed into lane words
+  // (PPSFP vs the serial reference engine), never the results -- a repeat at
+  // a different width is the same experiment.
+  request.config.fault_pack_width = 1;
+  request.config.generation.fault_pack_width = 1;
+  const ExperimentSummary repacked = fx.service.run_experiment(request, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(hash_detect_counts(cold.detect_count),
+            hash_detect_counts(repacked.detect_count));
+  EXPECT_EQ(hash_first_detects(cold.first_detect),
+            hash_first_detects(repacked.first_detect));
 }
 
 TEST(ExperimentService, ConfigChangeIsAFreshMiss) {

@@ -8,6 +8,7 @@
 //              [--max-coverage-drop <pts>] [--max-tests-increase <pct>]
 //              [--max-walltime-increase <pct>] [--max-peak-rss-increase <pct>]
 //              [--max-bytes-per-gate-increase <pct>] [--min-warm-speedup <x>]
+//              [--min-pack-speedup <x>]
 //       Compares two run reports and exits nonzero when the current report
 //       regresses past a threshold. Negative threshold disables the check;
 //       walltime and memory gating are off unless requested (walltime and
@@ -109,6 +110,8 @@ int cmd_diff(const fbt::Cli& cli) {
                      thresholds.max_bytes_per_gate_increase_percent);
   thresholds.min_warm_speedup =
       cli.get_double("min-warm-speedup", thresholds.min_warm_speedup);
+  thresholds.min_pack_speedup =
+      cli.get_double("min-pack-speedup", thresholds.min_pack_speedup);
 
   const fbt::obs::DiffResult result =
       fbt::obs::diff_run_reports(baseline, current, thresholds);

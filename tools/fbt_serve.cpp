@@ -13,6 +13,7 @@
 //                     [--segment-length N] [--max-segment-failures N]
 //                     [--max-sequence-failures N] [--rng-seed N]
 //                     [--num-threads N] [--speculation-lanes N]
+//                     [--fault-pack-width N]
 //       Connects, sends one experiment request (or the raw --json line),
 //       prints every response line, and exits when the result (or an error)
 //       arrives. Exit codes: 0 result received, 1 server error, 2 usage/IO.
@@ -104,6 +105,8 @@ std::string build_request_line(const fbt::Cli& cli) {
   line += ", \"num_threads\": " + std::to_string(cli.get_int("num-threads", 1));
   line += ", \"speculation_lanes\": " +
           std::to_string(cli.get_int("speculation-lanes", 64));
+  line += ", \"fault_pack_width\": " +
+          std::to_string(cli.get_int("fault-pack-width", 64));
   line += "}}";
   return line;
 }
