@@ -73,7 +73,7 @@ void PodemEngine::simulate_faulty(const TransitionFault& fault,
   for (const NodeId ff : nl.flops()) out[ff] = good_[idx({Frame::k2, ff})];
   for (const NodeId id : flat_.const0_nodes()) out[id] = Val3::k0;
   for (const NodeId id : flat_.const1_nodes()) out[id] = Val3::k1;
-  if (!is_combinational(nl.gate(fault.line).type)) out[fault.line] = forced;
+  if (!is_combinational(nl.type(fault.line))) out[fault.line] = forced;
   const NodeId* ids = flat_.fanin_ids();
   Val3* vals = out.data();
   for (const FlatFanins::Entry& e : flat_.entries()) {
@@ -117,19 +117,20 @@ std::pair<FrameNode, Val3> PodemEngine::backtrace(FrameNode node, Val3 want) {
   const Netlist& nl = *netlist_;
   for (std::size_t guard = 0; guard < 4 * nl.size() + 8; ++guard) {
     if (is_free_input(nl, node)) return {node, want};
-    const Gate& g = nl.gate(node.node);
-    if (g.type == GateType::kDff) {
+    const GateType type = nl.type(node.node);
+    const auto fanins = nl.fanins(node.node);
+    if (type == GateType::kDff) {
       // Frame-2 state variable: justified through the frame-1 next state.
       node = {Frame::k1, nl.dff_input(node.node)};
       continue;
     }
-    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+    if (type == GateType::kConst0 || type == GateType::kConst1) {
       return {{Frame::k1, kNoNode}, want};  // cannot justify through constants
     }
     // Choose an unassigned fanin to continue through.
     NodeId chosen = kNoNode;
     std::size_t nx = 0;
-    for (const NodeId fi : g.fanins) {
+    for (const NodeId fi : fanins) {
       if (good_[idx({node.frame, fi})] == Val3::kX) {
         ++nx;
         if (chosen == kNoNode || rng_.chance(1, static_cast<std::uint32_t>(nx))) {
@@ -139,7 +140,7 @@ std::pair<FrameNode, Val3> PodemEngine::backtrace(FrameNode node, Val3 want) {
     }
     if (chosen == kNoNode) return {{Frame::k1, kNoNode}, want};
 
-    switch (g.type) {
+    switch (type) {
       case GateType::kBuf:
         break;
       case GateType::kNot:
@@ -153,14 +154,14 @@ std::pair<FrameNode, Val3> PodemEngine::backtrace(FrameNode node, Val3 want) {
         // suffices (drive `chosen` controlling) or all inputs must be
         // non-controlling -- in both cases the needed input value equals the
         // folded output value.
-        const bool core_want = (want == Val3::k1) != inverts(g.type);
+        const bool core_want = (want == Val3::k1) != inverts(type);
         want = core_want ? Val3::k1 : Val3::k0;
         break;
       }
       case GateType::kXor:
       case GateType::kXnor: {
-        bool parity = g.type == GateType::kXnor;
-        for (const NodeId fi : g.fanins) {
+        bool parity = type == GateType::kXnor;
+        for (const NodeId fi : fanins) {
           if (fi == chosen) continue;
           const Val3 v = good_[idx({node.frame, fi})];
           if (v == Val3::k1) parity = !parity;  // X treated as 0 heuristically
@@ -195,9 +196,9 @@ std::pair<FrameNode, Val3> PodemEngine::pick_objective(
   // non-controlling.
   for (const NodeId id : nl.eval_order()) {
     if (good_[idx({Frame::k2, id})] != Val3::kX) continue;
-    const Gate& g = nl.gate(id);
+    const auto fanins = nl.fanins(id);
     bool carries_diff = false;
-    for (const NodeId fi : g.fanins) {
+    for (const NodeId fi : fanins) {
       const Val3 gv = good_[idx({Frame::k2, fi})];
       const Val3 fv = faulty[fi];
       if (gv != Val3::kX && fv != Val3::kX && gv != fv) {
@@ -206,11 +207,12 @@ std::pair<FrameNode, Val3> PodemEngine::pick_objective(
       }
     }
     if (!carries_diff) continue;
-    for (const NodeId fi : g.fanins) {
+    const GateType type = nl.type(id);
+    for (const NodeId fi : fanins) {
       if (good_[idx({Frame::k2, fi})] != Val3::kX) continue;
       Val3 want = Val3::k0;
-      if (has_controlling_value(g.type)) {
-        want = controlling_value(g.type) ? Val3::k0 : Val3::k1;
+      if (has_controlling_value(type)) {
+        want = controlling_value(type) ? Val3::k0 : Val3::k1;
       }
       return backtrace({Frame::k2, fi}, want);
     }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "util/require.hpp"
@@ -10,6 +12,17 @@
 
 namespace fbt {
 namespace {
+
+/// Formats "<prefix><index>" into a reusable stack buffer. The netlist
+/// interns the view into its name arena, so no per-node std::string is
+/// allocated on the emit path (at 1M gates that is 1M saved heap churns).
+struct NameBuf {
+  char buf[32];
+  std::string_view format(const char* prefix, std::size_t index) {
+    const int n = std::snprintf(buf, sizeof(buf), "%s%zu", prefix, index);
+    return {buf, static_cast<std::size_t>(n)};
+  }
+};
 
 std::size_t pick_fanin_count(Pcg32& rng) {
   const std::uint32_t r = rng.below(100);
@@ -97,14 +110,15 @@ Netlist generate_synthetic(const SynthParams& params) {
 
   Pcg32 rng(params.seed, 0x9e3779b97f4a7c15ULL);
   Netlist netlist(params.name);
+  NameBuf name;
 
   std::vector<NodeId> sources;
   for (std::size_t i = 0; i < params.num_inputs; ++i) {
-    sources.push_back(netlist.add_input("pi" + std::to_string(i)));
+    sources.push_back(netlist.add_input(name.format("pi", i)));
   }
   std::vector<NodeId> flops;
   for (std::size_t i = 0; i < params.num_flops; ++i) {
-    const NodeId ff = netlist.add_dff("ff" + std::to_string(i));
+    const NodeId ff = netlist.add_dff(name.format("ff", i));
     flops.push_back(ff);
     sources.push_back(ff);
   }
@@ -161,6 +175,14 @@ Netlist generate_synthetic(const SynthParams& params) {
     return pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
   };
 
+  // Scratch buffers reused across all gates: the emit loop performs no
+  // per-gate heap allocation (fanins and probabilities are spans into these,
+  // the name is a stack buffer, and add_gate copies into the arena/CSR).
+  std::vector<NodeId> fanins;
+  std::vector<double> fanin_probs;
+  fanins.reserve(8);
+  fanin_probs.reserve(8);
+
   for (std::size_t g = 0; g < params.num_gates; ++g) {
     const std::size_t nfanin = pick_fanin_count(rng);
 
@@ -171,7 +193,7 @@ Netlist generate_synthetic(const SynthParams& params) {
     if (target == max_depth && cap_budget == 0) --target;
     while (target > 1 && by_level[target - 1].empty()) --target;
 
-    std::vector<NodeId> fanins;
+    fanins.clear();
     // First fanin: pending unused source, or a node at target - 1.
     if (next_unused < unused_sources.size()) {
       fanins.push_back(unused_sources[next_unused++]);
@@ -200,8 +222,7 @@ Netlist generate_synthetic(const SynthParams& params) {
     }
 
     unsigned lvl = 0;
-    std::vector<double> fanin_probs;
-    fanin_probs.reserve(fanins.size());
+    fanin_probs.clear();
     for (const NodeId f : fanins) {
       ++fanout_count[f];
       lvl = std::max(lvl, level[f] + 1);
@@ -211,8 +232,7 @@ Netlist generate_synthetic(const SynthParams& params) {
     double out_prob = 0.5;
     const GateType type =
         pick_gate_type(rng, params.parity_percent, fanin_probs, out_prob);
-    const NodeId id =
-        netlist.add_gate(type, "g" + std::to_string(g), std::move(fanins));
+    const NodeId id = netlist.add_gate(type, name.format("g", g), fanins);
     level[id] = lvl;
     prob[id] = out_prob;
     const unsigned bucket = std::min<unsigned>(lvl, max_depth);
@@ -268,10 +288,11 @@ Netlist generate_synthetic(const SynthParams& params) {
 Netlist make_buffers_block(std::size_t width) {
   require(width >= 1, "make_buffers_block", "width must be >= 1");
   Netlist netlist("buffers" + std::to_string(width));
+  NameBuf name;
   for (std::size_t i = 0; i < width; ++i) {
-    const NodeId pi = netlist.add_input("pi" + std::to_string(i));
+    const NodeId pi = netlist.add_input(name.format("pi", i));
     const NodeId buf =
-        netlist.add_gate(GateType::kBuf, "po" + std::to_string(i), {pi});
+        netlist.add_gate(GateType::kBuf, name.format("po", i), {pi});
     netlist.mark_output(buf);
   }
   netlist.finalize();

@@ -24,7 +24,8 @@ std::vector<TransitionFault> all_faults(const Netlist& netlist) {
 }  // namespace
 
 std::string fault_name(const Netlist& netlist, const TransitionFault& fault) {
-  return netlist.gate(fault.line).name + (fault.rising ? "/STR" : "/STF");
+  return std::string(netlist.node_name(fault.line)) +
+         (fault.rising ? "/STR" : "/STF");
 }
 
 TransitionFaultList TransitionFaultList::uncollapsed(const Netlist& netlist) {

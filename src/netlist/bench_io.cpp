@@ -1,9 +1,9 @@
 #include "netlist/bench_io.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
-#include <sstream>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "util/require.hpp"
@@ -11,192 +11,221 @@
 namespace fbt {
 namespace {
 
-std::string trim(std::string_view s) {
+// The parser is a single streaming pass over the input text: every token is
+// a std::string_view into the caller's buffer, so no per-line or per-name
+// std::string is ever materialized. Statements that cannot be resolved
+// immediately (forward references) are deferred into a compact POD table
+// (views + a flat argument CSR) and replayed to fixpoint; for topologically
+// ordered files -- synthetic emissions and most real benches -- the deferred
+// table stays empty and parsing is one pass.
+
+std::string_view trim(std::string_view s) {
   std::size_t b = 0;
   std::size_t e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
+  return s.substr(b, e - b);
 }
 
-struct Statement {
-  enum Kind { kInput, kOutput, kGate } kind;
-  std::string name;               // target net
-  std::string type;               // for kGate
-  std::vector<std::string> args;  // for kGate
+std::string line_str(int line) { return std::to_string(line); }
+
+/// One deferred gate statement: target name, type, argument span into the
+/// flat `args` table, and the source line for diagnostics.
+struct GateStmt {
+  std::string_view name;
+  GateType type;
+  std::uint32_t first_arg;
+  std::uint32_t nargs;
   int line;
 };
 
-// Parses "TYPE(a, b, c)" after the '=' of a gate statement.
-void parse_call(const std::string& rhs, Statement& st, int line) {
+/// Splits "TYPE(a, b, c)" into the type keyword and trimmed argument views,
+/// appending the arguments to `args`.
+GateType parse_call(std::string_view rhs, std::vector<std::string_view>& args,
+                    int line) {
   const auto open = rhs.find('(');
   const auto close = rhs.rfind(')');
-  require(open != std::string::npos && close != std::string::npos &&
+  require(open != std::string_view::npos && close != std::string_view::npos &&
               close > open,
-          "parse_bench", "malformed gate call at line " + std::to_string(line));
-  st.type = trim(rhs.substr(0, open));
-  const std::string args = rhs.substr(open + 1, close - open - 1);
-  std::string cur;
-  for (const char c : args) {
-    if (c == ',') {
-      st.args.push_back(trim(cur));
-      cur.clear();
-    } else {
-      cur += c;
+          "parse_bench", "malformed gate call at line " + line_str(line));
+  const GateType type = gate_type_from_name(trim(rhs.substr(0, open)));
+  std::string_view body = rhs.substr(open + 1, close - open - 1);
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view arg = trim(body.substr(0, comma));
+    if (comma == std::string_view::npos) {
+      if (!arg.empty()) args.push_back(arg);
+      break;
     }
+    require(!arg.empty(), "parse_bench",
+            "empty argument at line " + line_str(line));
+    args.push_back(arg);
+    body = body.substr(comma + 1);
   }
-  const std::string last = trim(cur);
-  if (!last.empty()) st.args.push_back(last);
-  for (const auto& a : st.args) {
-    require(!a.empty(), "parse_bench",
-            "empty argument at line " + std::to_string(line));
-  }
+  return type;
 }
 
 }  // namespace
 
 Netlist parse_bench(std::string_view text, std::string circuit_name) {
-  std::vector<Statement> statements;
-  {
-    std::istringstream in{std::string(text)};
-    std::string raw;
-    int line = 0;
-    while (std::getline(in, raw)) {
-      ++line;
-      const auto hash = raw.find('#');
-      if (hash != std::string::npos) raw.erase(hash);
-      const std::string s = trim(raw);
-      if (s.empty()) continue;
-
-      const auto eq = s.find('=');
-      if (eq == std::string::npos) {
-        // INPUT(x) or OUTPUT(x)
-        const auto open = s.find('(');
-        const auto close = s.rfind(')');
-        require(open != std::string::npos && close != std::string::npos &&
-                    close > open,
-                "parse_bench",
-                "malformed statement at line " + std::to_string(line));
-        const std::string keyword = trim(s.substr(0, open));
-        const std::string net = trim(s.substr(open + 1, close - open - 1));
-        require(!net.empty(), "parse_bench",
-                "empty net name at line " + std::to_string(line));
-        Statement st;
-        st.name = net;
-        st.line = line;
-        if (keyword == "INPUT") {
-          st.kind = Statement::kInput;
-        } else if (keyword == "OUTPUT") {
-          st.kind = Statement::kOutput;
-        } else {
-          throw Error("parse_bench: unknown keyword '" + keyword +
-                      "' at line " + std::to_string(line));
-        }
-        statements.push_back(std::move(st));
-      } else {
-        Statement st;
-        st.kind = Statement::kGate;
-        st.name = trim(s.substr(0, eq));
-        st.line = line;
-        require(!st.name.empty(), "parse_bench",
-                "empty target net at line " + std::to_string(line));
-        parse_call(trim(s.substr(eq + 1)), st, line);
-        statements.push_back(std::move(st));
-      }
-    }
-  }
-
-  // Pass 1: create all nodes so that forward references resolve.
   Netlist netlist(std::move(circuit_name));
-  std::unordered_map<std::string, NodeId> ids;
-  std::vector<const Statement*> gate_statements;
-  for (const auto& st : statements) {
-    switch (st.kind) {
-      case Statement::kInput:
-        require(ids.find(st.name) == ids.end(), "parse_bench",
-                "duplicate definition of '" + st.name + "' at line " +
-                    std::to_string(st.line));
-        ids[st.name] = netlist.add_input(st.name);
-        break;
-      case Statement::kGate: {
-        require(ids.find(st.name) == ids.end(), "parse_bench",
-                "duplicate definition of '" + st.name + "' at line " +
-                    std::to_string(st.line));
-        const GateType type = gate_type_from_name(st.type);
-        if (type == GateType::kDff) {
-          require(st.args.size() == 1, "parse_bench",
-                  "DFF takes exactly 1 argument at line " +
-                      std::to_string(st.line));
-          ids[st.name] = netlist.add_dff(st.name);
-        } else {
-          ids[st.name] = kNoNode;  // placeholder; created in pass 2
-        }
-        gate_statements.push_back(&st);
-        break;
+
+  std::vector<GateStmt> comb;                 // deferred combinational gates
+  std::vector<GateStmt> dffs;                 // D hookups after the scan
+  std::vector<std::string_view> args;         // flat argument CSR
+  std::vector<std::pair<std::string_view, int>> output_stmts;
+  std::vector<NodeId> fanins;                 // scratch, reused per gate
+
+  // Resolves `net` to a created node, kNoNode while still pending.
+  const auto resolved = [&](std::string_view net) {
+    return netlist.find(net);
+  };
+
+  // Streaming scan. Inputs and flip-flops are created immediately, in file
+  // order; combinational gates are deferred to the fixpoint below. Both
+  // choices reproduce the node-id assignment of the old two-phase parser
+  // exactly (sources first in file order, then gates in dependency order),
+  // which everything downstream -- fault lists, matrices, cache keys --
+  // relies on staying put.
+  std::size_t pos = 0;
+  int line = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view s = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line;
+    const auto hash = s.find('#');
+    if (hash != std::string_view::npos) s = s.substr(0, hash);
+    s = trim(s);
+    if (s.empty()) continue;
+
+    const auto eq = s.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto open = s.find('(');
+      const auto close = s.rfind(')');
+      require(open != std::string_view::npos &&
+                  close != std::string_view::npos && close > open,
+              "parse_bench", "malformed statement at line " + line_str(line));
+      const std::string_view keyword = trim(s.substr(0, open));
+      const std::string_view net = trim(s.substr(open + 1, close - open - 1));
+      require(!net.empty(), "parse_bench",
+              "empty net name at line " + line_str(line));
+      if (keyword == "INPUT") {
+        require(resolved(net) == kNoNode, "parse_bench",
+                "duplicate definition of '" + std::string(net) + "' at line " +
+                    line_str(line));
+        netlist.add_input(net);
+      } else if (keyword == "OUTPUT") {
+        output_stmts.emplace_back(net, line);
+      } else {
+        throw Error("parse_bench: unknown keyword '" + std::string(keyword) +
+                    "' at line " + line_str(line));
       }
-      case Statement::kOutput:
-        break;
+      continue;
+    }
+
+    GateStmt st;
+    st.name = trim(s.substr(0, eq));
+    st.line = line;
+    require(!st.name.empty(), "parse_bench",
+            "empty target net at line " + line_str(line));
+    st.first_arg = static_cast<std::uint32_t>(args.size());
+    st.type = parse_call(trim(s.substr(eq + 1)), args, line);
+    st.nargs = static_cast<std::uint32_t>(args.size()) - st.first_arg;
+    require(resolved(st.name) == kNoNode, "parse_bench",
+            "duplicate definition of '" + std::string(st.name) + "' at line " +
+                line_str(line));
+    if (st.type == GateType::kDff) {
+      require(st.nargs == 1, "parse_bench",
+              "DFF takes exactly 1 argument at line " + line_str(line));
+      netlist.add_dff(st.name);
+      dffs.push_back(st);
+      continue;
+    }
+    comb.push_back(st);
+  }
+
+  // Sorted view of the deferred target names: duplicate detection (equal
+  // neighbors) and the undefined-net check below (binary search) without a
+  // hash map or key copies.
+  std::vector<std::string_view> targets;
+  targets.reserve(comb.size());
+  for (const GateStmt& st : comb) targets.push_back(st.name);
+  std::sort(targets.begin(), targets.end());
+  for (std::size_t i = 1; i < targets.size(); ++i) {
+    if (targets[i - 1] != targets[i]) continue;
+    bool seen = false;
+    for (const GateStmt& st : comb) {
+      if (st.name != targets[i]) continue;
+      require(!seen, "parse_bench",
+              "duplicate definition of '" + std::string(st.name) +
+                  "' at line " + line_str(st.line));
+      seen = true;
     }
   }
 
-  // Pass 2: create combinational gates in dependency order. Because gates may
-  // reference nets defined later in the file, iterate until fixpoint.
-  auto resolved = [&](const std::string& net) {
-    const auto it = ids.find(net);
-    return it != ids.end() && it->second != kNoNode;
-  };
-  std::vector<const Statement*> worklist = gate_statements;
+  // Fixpoint over the deferred combinational gates: every sweep walks the
+  // remaining statements in file order and creates the ones whose arguments
+  // all resolve -- the same creation order (and therefore the same node ids)
+  // as the old statement-table parser.
+  std::vector<std::uint32_t> worklist(comb.size());
+  for (std::uint32_t i = 0; i < comb.size(); ++i) worklist[i] = i;
+  bool first_sweep = true;
   while (!worklist.empty()) {
-    std::vector<const Statement*> next;
+    std::vector<std::uint32_t> next;
     bool progress = false;
-    for (const Statement* st : worklist) {
-      const GateType type = gate_type_from_name(st->type);
-      if (type == GateType::kDff) {
-        progress = true;  // created in pass 1; D connected after the loop
-        continue;
-      }
+    for (const std::uint32_t wi : worklist) {
+      const GateStmt& st = comb[wi];
       bool all_resolved = true;
-      for (const auto& a : st->args) {
-        require(ids.find(a) != ids.end(), "parse_bench",
-                "undefined net '" + a + "' at line " + std::to_string(st->line));
-        if (!resolved(a)) {
+      fanins.clear();
+      for (std::uint32_t k = 0; k < st.nargs; ++k) {
+        const std::string_view a = args[st.first_arg + k];
+        const NodeId f = resolved(a);
+        if (f == kNoNode) {
+          if (first_sweep) {
+            // A net that is neither created nor a pending target is
+            // undefined; report it now, like the eager parser did.
+            require(std::binary_search(targets.begin(), targets.end(), a),
+                    "parse_bench",
+                    "undefined net '" + std::string(a) + "' at line " +
+                        line_str(st.line));
+          }
           all_resolved = false;
           break;
         }
+        fanins.push_back(f);
       }
       if (!all_resolved) {
-        next.push_back(st);
+        next.push_back(wi);
         continue;
       }
-      std::vector<NodeId> fanins;
-      fanins.reserve(st->args.size());
-      for (const auto& a : st->args) fanins.push_back(ids[a]);
-      ids[st->name] = netlist.add_gate(type, st->name, std::move(fanins));
+      netlist.add_gate(st.type, st.name, fanins);
       progress = true;
     }
     require(progress, "parse_bench",
             "combinational cycle or unresolved nets in gate definitions");
     worklist = std::move(next);
+    first_sweep = false;
   }
 
   // Connect flip-flop data inputs.
-  for (const Statement* st : gate_statements) {
-    if (gate_type_from_name(st->type) != GateType::kDff) continue;
-    const auto d = ids.find(st->args[0]);
-    require(d != ids.end() && d->second != kNoNode, "parse_bench",
-            "undefined DFF data net '" + st->args[0] + "' at line " +
-                std::to_string(st->line));
-    netlist.set_dff_input(ids[st->name], d->second);
+  for (const GateStmt& st : dffs) {
+    const NodeId d = resolved(args[st.first_arg]);
+    require(d != kNoNode, "parse_bench",
+            "undefined DFF data net '" + std::string(args[st.first_arg]) +
+                "' at line " + line_str(st.line));
+    netlist.set_dff_input(netlist.find(st.name), d);
   }
 
   // Mark outputs.
-  for (const auto& st : statements) {
-    if (st.kind != Statement::kOutput) continue;
-    const auto it = ids.find(st.name);
-    require(it != ids.end() && it->second != kNoNode, "parse_bench",
-            "OUTPUT names undefined net '" + st.name + "' at line " +
-                std::to_string(st.line));
-    netlist.mark_output(it->second);
+  for (const auto& [net, at] : output_stmts) {
+    const NodeId id = resolved(net);
+    require(id != kNoNode, "parse_bench",
+            "OUTPUT names undefined net '" + std::string(net) + "' at line " +
+                line_str(at));
+    netlist.mark_output(id);
   }
 
   netlist.finalize();
@@ -204,50 +233,65 @@ Netlist parse_bench(std::string_view text, std::string circuit_name) {
 }
 
 Netlist read_bench_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   require(in.good(), "read_bench_file", "cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  std::string text(size, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(size));
+  require(in.good() || in.eof(), "read_bench_file",
+          "read failed for '" + path + "'");
   // Derive the circuit name from the file name, dropping directory and .bench.
   std::string name = path;
   const auto slash = name.find_last_of('/');
   if (slash != std::string::npos) name.erase(0, slash + 1);
   const auto dot = name.rfind(".bench");
   if (dot != std::string::npos) name.erase(dot);
-  return parse_bench(buffer.str(), name);
+  return parse_bench(text, name);
 }
 
 std::string write_bench(const Netlist& netlist) {
-  std::ostringstream out;
-  out << "# " << netlist.name() << "\n";
+  std::string out;
+  // ~16 bytes per statement plus names; one reservation avoids the quadratic
+  // reallocation churn ostringstream paid at million-gate sizes.
+  out.reserve(64 + netlist.size() * 24);
+  const auto append = [&out](std::string_view s) { out.append(s); };
+  append("# ");
+  append(netlist.name());
+  append("\n");
   for (const NodeId id : netlist.inputs()) {
-    out << "INPUT(" << netlist.gate(id).name << ")\n";
+    append("INPUT(");
+    append(netlist.node_name(id));
+    append(")\n");
   }
   for (const NodeId id : netlist.outputs()) {
-    out << "OUTPUT(" << netlist.gate(id).name << ")\n";
+    append("OUTPUT(");
+    append(netlist.node_name(id));
+    append(")\n");
   }
   for (const NodeId ff : netlist.flops()) {
-    out << netlist.gate(ff).name << " = DFF("
-        << netlist.gate(netlist.dff_input(ff)).name << ")\n";
+    append(netlist.node_name(ff));
+    append(" = DFF(");
+    append(netlist.node_name(netlist.dff_input(ff)));
+    append(")\n");
   }
   for (NodeId id = 0; id < netlist.size(); ++id) {
-    const Gate& g = netlist.gate(id);
-    if (!is_combinational(g.type) &&
-        !(g.type == GateType::kConst0 || g.type == GateType::kConst1)) {
-      continue;
+    const GateType t = netlist.type(id);
+    const bool is_const = t == GateType::kConst0 || t == GateType::kConst1;
+    if (!is_combinational(t) && !is_const) continue;
+    append(netlist.node_name(id));
+    append(" = ");
+    append(gate_type_name(t));
+    append("(");
+    const auto fanins = netlist.fanins(id);
+    for (std::size_t i = 0; i < fanins.size(); ++i) {
+      if (i) append(", ");
+      append(netlist.node_name(fanins[i]));
     }
-    if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
-      out << g.name << " = " << gate_type_name(g.type) << "()\n";
-      continue;
-    }
-    out << g.name << " = " << gate_type_name(g.type) << "(";
-    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
-      if (i) out << ", ";
-      out << netlist.gate(g.fanins[i]).name;
-    }
-    out << ")\n";
+    append(")\n");
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace fbt

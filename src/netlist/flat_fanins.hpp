@@ -1,13 +1,18 @@
-// Flattened fanin arrays for hot simulation loops.
+// Flattened fanin view for hot simulation loops.
 //
-// The simulators evaluate every gate every cycle; building a temporary
-// fanin-value vector per gate dominates their run time. FlatFanins lays the
-// eval-order gates out contiguously (gate id, type, fanin span) so inner
-// loops touch two flat arrays only.
+// The simulators evaluate every gate every cycle; the eval-order CSR they
+// walk (gate id, type, fanin span, contiguous fanin ids) is built once by
+// Netlist::finalize() and owned by the netlist. FlatFanins is a thin view
+// over those arrays: copying or caching one costs a few pointers, not a
+// duplicate of the circuit. A view constructed from a shared_ptr keeps the
+// owning netlist alive (the serving cache evicts netlists and CSR views
+// independently); the reference constructor relies on the caller keeping the
+// netlist alive, which every simulator in the tree already does.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
+#include <span>
 
 #include "netlist/netlist.hpp"
 
@@ -15,46 +20,36 @@ namespace fbt {
 
 class FlatFanins {
  public:
-  explicit FlatFanins(const Netlist& netlist) {
-    const auto& order = netlist.eval_order();
-    entries_.reserve(order.size());
-    for (const NodeId id : order) {
-      const Gate& g = netlist.gate(id);
-      entries_.push_back({id, g.type,
-                          static_cast<std::uint32_t>(fanins_.size()),
-                          static_cast<std::uint32_t>(g.fanins.size())});
-      fanins_.insert(fanins_.end(), g.fanins.begin(), g.fanins.end());
-    }
-    for (NodeId id = 0; id < netlist.size(); ++id) {
-      if (netlist.type(id) == GateType::kConst0) const0_.push_back(id);
-      if (netlist.type(id) == GateType::kConst1) const1_.push_back(id);
-    }
+  using Entry = EvalEntry;
+
+  explicit FlatFanins(const Netlist& netlist)
+      : entries_(netlist.eval_entries()),
+        fanins_(netlist.eval_fanin_ids()),
+        const0_(netlist.const0_nodes()),
+        const1_(netlist.const1_nodes()) {}
+
+  /// Shares ownership of the netlist so the view can outlive the caller's
+  /// reference (serving-cache path).
+  explicit FlatFanins(std::shared_ptr<const Netlist> netlist)
+      : FlatFanins(*netlist) {
+    owner_ = std::move(netlist);
   }
 
-  struct Entry {
-    NodeId node;
-    GateType type;
-    std::uint32_t first;  ///< index into fanin_ids()
-    std::uint32_t count;
-  };
+  std::span<const Entry> entries() const { return entries_; }
+  const NodeId* fanin_ids() const { return fanins_; }
+  std::span<const NodeId> const0_nodes() const { return const0_; }
+  std::span<const NodeId> const1_nodes() const { return const1_; }
 
-  const std::vector<Entry>& entries() const { return entries_; }
-  const NodeId* fanin_ids() const { return fanins_.data(); }
-  const std::vector<NodeId>& const0_nodes() const { return const0_; }
-  const std::vector<NodeId>& const1_nodes() const { return const1_; }
-
-  /// Bytes held by the CSR arrays (resource telemetry; counts content, not
-  /// allocator slack, so the value is deterministic for a given netlist).
-  std::uint64_t footprint_bytes() const {
-    return sizeof(*this) + entries_.size() * sizeof(Entry) +
-           (fanins_.size() + const0_.size() + const1_.size()) * sizeof(NodeId);
-  }
+  /// Bytes held by this view itself. The CSR content is owned by the netlist
+  /// and accounted in Netlist::footprint_bytes() exactly once.
+  std::uint64_t footprint_bytes() const { return sizeof(*this); }
 
  private:
-  std::vector<Entry> entries_;
-  std::vector<NodeId> fanins_;
-  std::vector<NodeId> const0_;
-  std::vector<NodeId> const1_;
+  std::span<const Entry> entries_;
+  const NodeId* fanins_;
+  std::span<const NodeId> const0_;
+  std::span<const NodeId> const1_;
+  std::shared_ptr<const Netlist> owner_;
 };
 
 }  // namespace fbt

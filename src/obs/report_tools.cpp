@@ -235,6 +235,39 @@ void html_memory_panel(const JsonValue& report, std::ostringstream& out) {
     out << "</table>\n";
   }
 
+  // Netlist arena telemetry: the finalize-time / arena-size gauge pair
+  // published by Netlist::finalize(), plus the per-scale-point copies a
+  // bench_scale sweep records (scale.gN.netlist_arena_bytes /
+  // scale.gN.netlist_finalize_ms). Reports without the gauges (tools that
+  // never finalize a netlist) skip the section.
+  const JsonValue* gauges = report.find("gauges");
+  if (gauges != nullptr && gauges->is_object()) {
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& [name, value] : gauges->object) {
+      if (!value.is_number()) continue;
+      const bool arena_pair = name == "netlist.arena_bytes" ||
+                              name == "netlist.finalize_duration_ms";
+      const bool scale_pair =
+          name.rfind("scale.", 0) == 0 &&
+          (name.find(".netlist_arena_bytes") != std::string::npos ||
+           name.find(".netlist_finalize_ms") != std::string::npos ||
+           name.find(".parse_ms") != std::string::npos);
+      if (arena_pair || scale_pair) rows.emplace_back(name, value.number);
+    }
+    if (!rows.empty()) {
+      out << "<h3>Netlist arena</h3>\n<table>"
+             "<tr><th>gauge</th><th>value</th></tr>\n";
+      for (const auto& [name, value] : rows) {
+        out << "<tr><td>" << html_escape(name) << "</td><td>" << num(value);
+        if (name.find("bytes") != std::string::npos) {
+          out << " (" << bytes_human(value) << ")";
+        }
+        out << "</td></tr>\n";
+      }
+      out << "</table>\n";
+    }
+  }
+
   const JsonValue* phases = report.find("phases");
   if (phases != nullptr && phases->is_array() && !phases->array.empty()) {
     double max_delta = 0.0;

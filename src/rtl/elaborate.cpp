@@ -434,10 +434,9 @@ void RtlSim::settle() {
   }
   std::vector<std::uint8_t> fanins;
   for (const NodeId id : nl.eval_order()) {
-    const Gate& g = nl.gate(id);
     fanins.clear();
-    for (const NodeId f : g.fanins) fanins.push_back(values_[f]);
-    values_[id] = eval_gate2(g.type, fanins);
+    for (const NodeId f : nl.fanins(id)) fanins.push_back(values_[f]);
+    values_[id] = eval_gate2(nl.type(id), fanins);
   }
 }
 

@@ -169,7 +169,11 @@ ExperimentSummary ExperimentService::run_experiment(
   artifacts.driver = driver.netlist;
   artifacts.flat = cache_.get_or_compute<FlatFanins>(
       "flat_fanins", flat_fanins_cache_key(target.key),
-      [&] { return std::make_shared<const FlatFanins>(*target.netlist); },
+      // The view constructor taking shared_ptr keeps the netlist alive for
+      // as long as the cached FlatFanins is: the cache may evict the netlist
+      // entry independently, and the view's spans point into netlist-owned
+      // CSR storage.
+      [&] { return std::make_shared<const FlatFanins>(target.netlist); },
       [](const FlatFanins& f) { return f.footprint_bytes(); });
   artifacts.faults = cache_.get_or_compute<TransitionFaultList>(
       "fault_list", fault_list_cache_key(target.key),

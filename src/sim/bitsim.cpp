@@ -22,21 +22,22 @@ BitSim::BitSim(const Netlist& netlist) : netlist_(&netlist) {
   // (AND(a, a) = a).
   eval_ops_.reserve(netlist.eval_order().size());
   for (const NodeId id : netlist.eval_order()) {
-    const Gate& g = netlist.gate(id);
+    const GateType type = netlist.type(id);
+    const auto fanins = netlist.fanins(id);
     EvalOp op;
     op.id = id;
-    op.count = static_cast<std::uint16_t>(g.fanins.size());
-    if (g.fanins.size() == 1) {
-      op.fan0 = op.fan1 = g.fanins[0];
+    op.count = static_cast<std::uint16_t>(fanins.size());
+    if (fanins.size() == 1) {
+      op.fan0 = op.fan1 = fanins[0];
       op.count = 2;
-      const bool invert = g.type == GateType::kNot ||
-                          g.type == GateType::kNand ||
-                          g.type == GateType::kNor || g.type == GateType::kXnor;
+      const bool invert = type == GateType::kNot ||
+                          type == GateType::kNand ||
+                          type == GateType::kNor || type == GateType::kXnor;
       op.tt = invert ? 0b0111 : 0b1000;
-    } else if (g.fanins.size() == 2) {
-      op.fan0 = g.fanins[0];
-      op.fan1 = g.fanins[1];
-      switch (g.type) {
+    } else if (fanins.size() == 2) {
+      op.fan0 = fanins[0];
+      op.fan1 = fanins[1];
+      switch (type) {
         case GateType::kAnd:  op.tt = 0b1000; break;
         case GateType::kNand: op.tt = 0b0111; break;
         case GateType::kOr:   op.tt = 0b1110; break;
@@ -45,11 +46,11 @@ BitSim::BitSim(const Netlist& netlist) : netlist_(&netlist) {
         case GateType::kXnor: op.tt = 0b1001; break;
         default:
           op.count = 3;  // unexpected two-input type: generic path
-          op.tt = static_cast<std::uint8_t>(g.type);
+          op.tt = static_cast<std::uint8_t>(type);
           break;
       }
     } else {
-      op.tt = static_cast<std::uint8_t>(g.type);
+      op.tt = static_cast<std::uint8_t>(type);
     }
     eval_ops_.push_back(op);
   }
@@ -69,9 +70,9 @@ void BitSim::eval() {
       const std::uint64_t hi = t2 ^ ((t2 ^ t3) & b);
       values[op.id] = lo ^ ((lo ^ hi) & a);
     } else {
-      const Gate& g = netlist_->gate(op.id);
-      values[op.id] = eval_gate64_indexed(g.type, g.fanins.data(),
-                                          g.fanins.size(), values);
+      const auto fanins = netlist_->fanins(op.id);
+      values[op.id] = eval_gate64_indexed(netlist_->type(op.id), fanins.data(),
+                                          fanins.size(), values);
     }
   }
   FBT_OBS_COUNTER_ADD("sim.bitsim_gates_evaluated", eval_ops_.size());

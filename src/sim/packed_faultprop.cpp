@@ -27,7 +27,7 @@ PackedFaultProp::PackedFaultProp(const Netlist& netlist,
     const std::uint32_t la = netlist.level(a);
     const std::uint32_t lb = netlist.level(b);
     if (la != lb) return la < lb;
-    return netlist.gate(a).type < netlist.gate(b).type;
+    return netlist.type(a) < netlist.type(b);
   });
   inv_.resize(n);
   for (std::size_t i = 0; i < n; ++i) inv_[perm_[i]] = static_cast<NodeId>(i);
@@ -57,20 +57,21 @@ PackedFaultProp::PackedFaultProp(const Netlist& netlist,
   fanin_ids_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId old = perm_[i];
-    const Gate& g = netlist.gate(old);
-    require(g.fanins.size() <= 0xFFFF, "PackedFaultProp",
+    const GateType type = netlist.type(old);
+    const auto fanins = netlist.fanins(old);
+    require(fanins.size() <= 0xFFFF, "PackedFaultProp",
             "fanin count must fit 16 bits");
     Node& m = nodes_[i];
-    if (g.fanins.size() == 1 || g.fanins.size() == 2) {
+    if (fanins.size() == 1 || fanins.size() == 2) {
       m.count = 2;
-      m.tt = gate_tt(g.type, g.fanins.size());
-      m.fan0 = inv_[g.fanins[0]];
-      m.fan1 = inv_[g.fanins.back()];
+      m.tt = gate_tt(type, fanins.size());
+      m.fan0 = inv_[fanins[0]];
+      m.fan1 = inv_[fanins.back()];
     } else {
-      m.count = static_cast<std::uint16_t>(g.fanins.size());
-      m.tt = static_cast<std::uint8_t>(g.type);
+      m.count = static_cast<std::uint16_t>(fanins.size());
+      m.tt = static_cast<std::uint8_t>(type);
       m.first = static_cast<std::uint32_t>(fanin_ids_.size());
-      for (const NodeId f : g.fanins) fanin_ids_.push_back(inv_[f]);
+      for (const NodeId f : fanins) fanin_ids_.push_back(inv_[f]);
     }
   }
   for (const NodeId po : netlist.outputs()) nodes_[inv_[po]].observe = 1;
@@ -84,7 +85,7 @@ PackedFaultProp::PackedFaultProp(const Netlist& netlist,
   for (std::size_t i = 0; i < n; ++i) {
     std::uint32_t cnt = 0;
     for (const NodeId out : netlist.fanouts(perm_[i])) {
-      if (is_combinational(netlist.gate(out).type)) ++cnt;
+      if (is_combinational(netlist.type(out))) ++cnt;
     }
     fanout_first_[i + 1] = fanout_first_[i] + cnt;
   }
@@ -92,7 +93,7 @@ PackedFaultProp::PackedFaultProp(const Netlist& netlist,
   for (std::size_t i = 0; i < n; ++i) {
     std::uint32_t at = fanout_first_[i];
     for (const NodeId out : netlist.fanouts(perm_[i])) {
-      if (is_combinational(netlist.gate(out).type)) {
+      if (is_combinational(netlist.type(out))) {
         fanout_ids_[at++] = inv_[out];
       }
     }

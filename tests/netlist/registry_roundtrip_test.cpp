@@ -26,7 +26,9 @@ std::map<std::string, NodeShape> shape_by_name(const Netlist& nl) {
     const Gate& g = nl.gate(id);
     NodeShape s;
     s.type = g.type;
-    for (const NodeId f : g.fanins) s.fanins.push_back(nl.gate(f).name);
+    for (const NodeId f : g.fanins) {
+      s.fanins.emplace_back(nl.node_name(f));
+    }
     const bool inserted = shapes.emplace(g.name, std::move(s)).second;
     EXPECT_TRUE(inserted) << nl.name() << ": duplicate node name " << g.name;
   }
@@ -36,7 +38,7 @@ std::map<std::string, NodeShape> shape_by_name(const Netlist& nl) {
 std::set<std::string> names_of(const Netlist& nl,
                                const std::vector<NodeId>& ids) {
   std::set<std::string> names;
-  for (const NodeId id : ids) names.insert(nl.gate(id).name);
+  for (const NodeId id : ids) names.emplace(nl.node_name(id));
   return names;
 }
 

@@ -143,16 +143,24 @@ TEST(Footprints, StructureFootprintsScaleWithCircuitSize) {
 
   const Netlist nl_small = generate_synthetic(small);
   const Netlist nl_big = generate_synthetic(big);
-  EXPECT_GT(nl_small.footprint_bytes(), nl_small.size() * sizeof(Gate));
+  // The arena must cover at least the raw SoA content: one type byte, one
+  // output flag, a name offset, and a fanin offset per node.
+  EXPECT_GT(nl_small.arena_bytes(),
+            nl_small.size() * (2 * sizeof(std::uint32_t) + 2));
+  EXPECT_GT(nl_small.footprint_bytes(), nl_small.arena_bytes());
   EXPECT_GT(nl_big.footprint_bytes(), 4 * nl_small.footprint_bytes());
+  // The eval CSR absorbed into the netlist holds one Entry per eval-order
+  // gate; the footprint must cover that content.
+  EXPECT_GE(nl_small.footprint_bytes(),
+            nl_small.eval_entries().size() * sizeof(EvalEntry));
 
+  // FlatFanins is a constant-size view over the netlist-owned CSR: its
+  // footprint is just the view header, independent of circuit size.
   const FlatFanins flat_small(nl_small);
   const FlatFanins flat_big(nl_big);
-  EXPECT_GT(flat_big.footprint_bytes(), flat_small.footprint_bytes());
-  // The CSR holds one Entry per eval-order gate plus the fanin ids; its
-  // footprint must cover at least that content.
-  EXPECT_GE(flat_small.footprint_bytes(),
-            flat_small.entries().size() * sizeof(FlatFanins::Entry));
+  EXPECT_EQ(flat_big.footprint_bytes(), flat_small.footprint_bytes());
+  EXPECT_EQ(flat_small.footprint_bytes(), sizeof(FlatFanins));
+  EXPECT_EQ(flat_small.entries().size(), nl_small.eval_entries().size());
 
   const TransitionFaultList faults_small =
       TransitionFaultList::collapsed(nl_small);
