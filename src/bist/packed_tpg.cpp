@@ -34,7 +34,9 @@ void PackedTpg::reseed(std::span<const std::uint32_t> seeds) {
 }
 
 void PackedTpg::clock_shift_register() {
-  FBT_OBS_COUNTER_ADD("bist.packed_lfsr_cycles", 1);
+#if FBT_OBS_ENABLED
+  lfsr_cycles_.add(1);
+#endif
   // Fibonacci LFSR step, bit-sliced: the parity of the tapped stages is the
   // XOR of their stage words; stages shift towards Qn.
   std::uint64_t feedback = 0;
@@ -49,7 +51,9 @@ void PackedTpg::clock_shift_register() {
 }
 
 void PackedTpg::next_vectors(std::span<std::uint64_t> pi_words) {
-  FBT_OBS_COUNTER_ADD("bist.packed_tpg_vectors_generated", 1);
+#if FBT_OBS_ENABLED
+  vectors_generated_.add(1);
+#endif
   const InputCube& cube = tpg_->cube();
   require(pi_words.size() == cube.values.size(), "PackedTpg::next_vectors",
           "packed word count must equal the input count");

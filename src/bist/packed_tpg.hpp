@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bist/tpg.hpp"
+#include "obs/metrics.hpp"
 
 namespace fbt {
 
@@ -43,6 +44,9 @@ class PackedTpg {
   std::uint32_t taps_mask_;
   std::vector<std::uint64_t> lfsr_;  ///< bit-sliced LFSR stages (Q1 first)
   std::vector<std::uint64_t> sr_;    ///< bit-sliced shift register
+  // Batched per-clock counters; see the Tpg members of the same shape.
+  obs::LocalCounter lfsr_cycles_{"bist.packed_lfsr_cycles"};
+  obs::LocalCounter vectors_generated_{"bist.packed_tpg_vectors_generated"};
 };
 
 }  // namespace fbt

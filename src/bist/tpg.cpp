@@ -28,7 +28,9 @@ Tpg::Tpg(const Netlist& netlist, const TpgConfig& config)
 }
 
 void Tpg::clock_shift_register() {
-  FBT_OBS_COUNTER_ADD("bist.lfsr_cycles", 1);
+#if FBT_OBS_ENABLED
+  lfsr_cycles_.add(1);
+#endif
   lfsr_.step();
   const std::uint8_t in = lfsr_.output() ? 1 : 0;
   for (std::size_t k = shift_register_.size(); k > 1; --k) {
@@ -53,7 +55,9 @@ std::vector<std::uint8_t> Tpg::next_vector() {
 void Tpg::next_vector_into(std::span<std::uint8_t> vec) {
   require(vec.size() == netlist_->num_inputs(), "Tpg::next_vector_into",
           "vector size must equal the input count");
-  FBT_OBS_COUNTER_ADD("bist.tpg_vectors_generated", 1);
+#if FBT_OBS_ENABLED
+  vectors_generated_.add(1);
+#endif
   clock_shift_register();
   for (std::size_t i = 0; i < vec.size(); ++i) {
     const Val3 c = cube_.values[i];

@@ -16,6 +16,7 @@
 #include "bist/input_cube.hpp"
 #include "bist/lfsr.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace fbt {
 
@@ -70,6 +71,10 @@ class Tpg {
   /// Per input: indices of its shift-register taps (m of them when biased,
   /// one otherwise).
   std::vector<std::vector<std::uint32_t>> taps_;
+  // Batched per-clock counters (one TPG clock per simulated cycle; an
+  // atomic RMW each would dominate on small circuits).
+  obs::LocalCounter lfsr_cycles_{"bist.lfsr_cycles"};
+  obs::LocalCounter vectors_generated_{"bist.tpg_vectors_generated"};
 };
 
 }  // namespace fbt

@@ -14,6 +14,13 @@ namespace {
 thread_local JobSystem* tls_pool = nullptr;
 thread_local std::size_t tls_worker = 0;
 
+#if FBT_OBS_ENABLED
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+#endif
+
 }  // namespace
 
 bool TaskHandle::done() const {
@@ -30,6 +37,12 @@ std::size_t JobSystem::resolve_threads(std::size_t requested) {
 
 JobSystem::JobSystem(std::size_t num_threads) {
   const std::size_t n = resolve_threads(num_threads);
+  start_ = std::chrono::steady_clock::now();
+#if FBT_OBS_ENABLED
+  busy_us_ = std::make_unique<std::atomic<std::uint64_t>[]>(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) busy_us_[i] = 0;
+#endif
+  FBT_OBS_GAUGE_SET("jobs.workers", n);
   queues_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -68,6 +81,20 @@ TaskHandle JobSystem::submit_after(const std::vector<TaskHandle>& deps,
       if (state->dep_error == nullptr) state->dep_error = dep.state_->error;
     }
   }
+#if FBT_OBS_ENABLED
+  // Capture the submitter's trace position before the task becomes reachable
+  // (execute() re-enters it on whichever worker runs fn, possibly after a
+  // steal). The flow id pairs the Chrome "s"/"f" arrow from here to there;
+  // untraced submits (no enclosing span) skip the arrow to keep the trace
+  // buffer proportional to instrumented work.
+  state->trace = obs::current_trace_context();
+  if (state->trace.span_id != 0) {
+    state->flow_id = obs::detail::next_flow_id();
+    state->submit_us = obs::detail::trace_now_us();
+    state->submit_tid = obs::detail::trace_thread_tid();
+  }
+#endif
+  submitted_.fetch_add(1, std::memory_order_relaxed);
   FBT_OBS_COUNTER_ADD("jobs.submitted", 1);
   // Drop the submission guard; enqueue now when every dependency already
   // finished (the last finishing dependency enqueues otherwise).
@@ -89,7 +116,9 @@ void JobSystem::enqueue(std::shared_ptr<detail::TaskState> state) {
     std::lock_guard<std::mutex> lock(queues_[index]->mutex);
     queues_[index]->tasks.push_back(std::move(state));
   }
-  ready_count_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth =
+      ready_count_.fetch_add(1, std::memory_order_release) + 1;
+  FBT_OBS_GAUGE_SET("jobs.queue_depth", depth);
   {
     // Pairs with the predicate re-check in worker_loop: taking the mutex
     // before notifying closes the missed-wakeup window.
@@ -117,6 +146,9 @@ bool JobSystem::try_execute_one() {
     // Steal: scan victims from the next slot; take the front half of the
     // first non-empty deque (oldest tasks -- likely whole subtrees), run the
     // first stolen task, keep the rest locally (workers only).
+#if FBT_OBS_ENABLED
+    const auto steal_t0 = std::chrono::steady_clock::now();
+#endif
     std::vector<std::shared_ptr<detail::TaskState>> stolen;
     for (std::size_t off = is_worker ? 1 : 0; off < n && task == nullptr;
          ++off) {
@@ -132,9 +164,17 @@ bool JobSystem::try_execute_one() {
         vq.tasks.pop_front();
       }
       task = std::move(stolen.front());
+      steals_.fetch_add(1, std::memory_order_relaxed);
       FBT_OBS_COUNTER_ADD("jobs.steals", 1);
     }
     if (task == nullptr) return false;
+#if FBT_OBS_ENABLED
+    // Time from "own deque empty" to "victim task in hand": the cost of the
+    // scan itself, a proxy for contention on the victim locks.
+    FBT_OBS_HIST_RECORD_LOG(
+        "jobs.steal_latency_ms",
+        us_between(steal_t0, std::chrono::steady_clock::now()) / 1000.0);
+#endif
     if (stolen.size() > 1) {
       WorkerQueue& own = *queues_[self];
       std::lock_guard<std::mutex> lock(own.mutex);
@@ -156,13 +196,42 @@ void JobSystem::execute(const std::shared_ptr<detail::TaskState>& state) {
     error = state->dep_error;
   }
   if (error == nullptr) {
+#if FBT_OBS_ENABLED
+    if (state->flow_id != 0) {
+      // Chrome flow arrow: submit site -> this execution site (which may be
+      // a different worker after a steal).
+      obs::PhaseTrace::instance().add_flow(
+          {state->flow_id, state->submit_us, state->submit_tid,
+           obs::detail::trace_now_us(), obs::detail::trace_thread_tid()});
+    }
+    const auto run_t0 = std::chrono::steady_clock::now();
+    try {
+      // Re-enter the submitter's trace position: spans fn opens outside any
+      // local span chain to the submitter instead of fragmenting into
+      // parentless roots (stitched back by PhaseTrace::summarize()).
+      obs::TraceContextScope trace_scope(state->trace);
+      state->fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const double run_us =
+        us_between(run_t0, std::chrono::steady_clock::now());
+    FBT_OBS_HIST_RECORD_LOG("jobs.run_ms", run_us / 1000.0);
+    FBT_OBS_COUNTER_ADD("jobs.busy_us", static_cast<std::uint64_t>(run_us));
+    const std::size_t slot =
+        tls_pool == this ? tls_worker : queues_.size();
+    busy_us_[slot].fetch_add(static_cast<std::uint64_t>(run_us),
+                             std::memory_order_relaxed);
+#else
     try {
       state->fn();
     } catch (...) {
       error = std::current_exception();
     }
+#endif
   }
   state->fn = nullptr;  // release captured resources before signalling done
+  executed_.fetch_add(1, std::memory_order_relaxed);
   FBT_OBS_COUNTER_ADD("jobs.executed", 1);
   complete(state, error);
 }
@@ -247,6 +316,32 @@ void JobSystem::parallel_for(std::size_t num_tasks,
     handles.push_back(submit([&task, i] { task(i); }));
   }
   wait_all(handles);
+}
+
+SchedulerSnapshot JobSystem::scheduler_snapshot() const {
+  SchedulerSnapshot snap;
+  snap.workers = queues_.size();
+  snap.queue_depth = ready_count_.load(std::memory_order_relaxed);
+  snap.submitted = submitted_.load(std::memory_order_relaxed);
+  snap.executed = executed_.load(std::memory_order_relaxed);
+  snap.steals = steals_.load(std::memory_order_relaxed);
+  snap.elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+#if FBT_OBS_ENABLED
+  std::uint64_t busy_us = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    busy_us += busy_us_[i].load(std::memory_order_relaxed);
+  }
+  snap.busy_ms = static_cast<double>(busy_us) / 1000.0;
+  const double capacity_ms =
+      snap.elapsed_ms * static_cast<double>(snap.workers);
+  if (capacity_ms > 0.0) {
+    snap.utilization = std::min(1.0, snap.busy_ms / capacity_ms);
+  }
+#endif
+  return snap;
 }
 
 JobSystem& global_jobs() {

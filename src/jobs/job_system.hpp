@@ -23,11 +23,17 @@
 //    (pinned by tests/bist/attribution_identity_test.cpp and
 //    tests/serve/server_test.cpp).
 //
-// Observability: jobs.submitted / jobs.executed / jobs.steals counters
-// (no-ops under FBT_OBS=OFF).
+// Observability: jobs.submitted / jobs.executed / jobs.steals counters plus,
+// when FBT_OBS is on, cross-worker trace propagation (submit_after captures
+// the submitter's obs::TraceContext and re-enters it on the executing worker,
+// with a Chrome flow arrow from submit site to run site), per-worker busy
+// time, queue-depth gauges, and steal-latency / run-time histograms. The
+// always-on counters are plain relaxed atomics; everything involving a clock
+// read compiles away under FBT_OBS=OFF.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +43,14 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#ifndef FBT_OBS_ENABLED
+#define FBT_OBS_ENABLED 1
+#endif
+
+#if FBT_OBS_ENABLED
+#include "obs/phase.hpp"
+#endif
 
 namespace fbt::jobs {
 
@@ -55,9 +69,33 @@ struct TaskState {
   /// Unfinished dependencies + 1 submission guard; the task is enqueued when
   /// this reaches zero.
   std::atomic<int> pending{1};
+#if FBT_OBS_ENABLED
+  /// Submitter's trace position, captured at submit time and re-entered
+  /// (obs::TraceContextScope) around fn() on the executing worker -- written
+  /// before the task becomes reachable by any worker, read-only afterwards.
+  obs::TraceContext trace{};
+  std::uint64_t flow_id = 0;    ///< Chrome flow-arrow id (submit -> run)
+  std::uint64_t submit_us = 0;  ///< trace-epoch time of the submit site
+  std::uint32_t submit_tid = 0;  ///< trace tid of the submitting thread
+#endif
 };
 
 }  // namespace detail
+
+/// Point-in-time scheduler telemetry (see JobSystem::scheduler_snapshot).
+/// Counters are lifetime totals for this pool; busy/utilization cover the
+/// span from construction to the snapshot. Under FBT_OBS=OFF the busy-time
+/// instrumentation compiles away, so busy_ms and utilization read 0.
+struct SchedulerSnapshot {
+  std::size_t workers = 0;
+  std::size_t queue_depth = 0;  ///< tasks queued, not yet started
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  double busy_ms = 0.0;     ///< summed across workers
+  double elapsed_ms = 0.0;  ///< wall time since pool construction
+  double utilization = 0.0;  ///< busy / (workers * elapsed), in [0, 1]
+};
 
 /// Opaque reference to a submitted task. Default-constructed handles are
 /// inert (valid() == false); wait() on them returns immediately.
@@ -117,6 +155,11 @@ class JobSystem {
   void parallel_for(std::size_t num_tasks,
                     const std::function<void(std::size_t)>& task);
 
+  /// Current scheduler telemetry for this pool. Cheap (relaxed atomic loads
+  /// only) and safe to call concurrently with running work -- the serve
+  /// daemon calls it per `stats` request, the run report once at exit.
+  SchedulerSnapshot scheduler_snapshot() const;
+
  private:
   struct WorkerQueue {
     std::mutex mutex;
@@ -139,6 +182,18 @@ class JobSystem {
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   bool stop_ = false;  ///< guarded by idle_mutex_
+
+  // Telemetry (scheduler_snapshot). The lifetime counters are always-on
+  // relaxed atomics; busy-time accounting needs a clock read per task and is
+  // compiled away under FBT_OBS=OFF.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::chrono::steady_clock::time_point start_;
+#if FBT_OBS_ENABLED
+  /// Per-worker (+1 slot for external helpers) microseconds spent in fn().
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_us_;
+#endif
 };
 
 /// The process-wide pool (hardware_concurrency workers, created on first

@@ -60,6 +60,18 @@
     fbt_obs_hist_.record(static_cast<double>(sample));               \
   } while (0)
 
+/// Records `sample` into the named histogram with the log-scale 1 µs..10 s
+/// latency bounds (see Histogram::log_latency_ms_bounds) -- for quantities
+/// with a wide dynamic range such as job run times and per-request serve
+/// latencies.
+#define FBT_OBS_HIST_RECORD_LOG(name, sample)                         \
+  do {                                                                \
+    static ::fbt::obs::Histogram& fbt_obs_hist_ =                     \
+        ::fbt::obs::registry().histogram(                             \
+            name, ::fbt::obs::Histogram::log_latency_ms_bounds());    \
+    fbt_obs_hist_.record(static_cast<double>(sample));                \
+  } while (0)
+
 /// Opens a phase span covering the rest of the enclosing scope.
 #define FBT_OBS_PHASE(name) \
   ::fbt::obs::PhaseSpan FBT_OBS_CONCAT(fbt_obs_phase_, __LINE__)(name)
@@ -93,6 +105,8 @@
 #define FBT_OBS_HIST_RECORD(name, sample) \
   do { (void)sizeof(name); (void)sizeof(sample); } while (0)
 #define FBT_OBS_HIST_RECORD_WITH(name, sample, ...) \
+  do { (void)sizeof(name); (void)sizeof(sample); } while (0)
+#define FBT_OBS_HIST_RECORD_LOG(name, sample) \
   do { (void)sizeof(name); (void)sizeof(sample); } while (0)
 #define FBT_OBS_PHASE(name) do { (void)sizeof(name); } while (0)
 #define FBT_OBS_ALLOC_CHARGE(bytes) \

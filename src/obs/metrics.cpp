@@ -40,6 +40,15 @@ std::vector<double> Histogram::latency_ms_bounds() {
           5000, 10000};
 }
 
+std::vector<double> Histogram::log_latency_ms_bounds() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1,
+          2,     5,     10,    20,   50,   100,  200, 500, 1000, 2000,
+          5000,  10000};
+}
+
+LocalCounter::LocalCounter(std::string_view name)
+    : counter_(&registry().counter(name)) {}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard lock(mutex_);
   auto it = counters_.find(name);
@@ -141,6 +150,27 @@ void register_core_counters() {
   reg.counter("jobs.submitted");
   reg.counter("jobs.executed");
   reg.counter("jobs.steals");
+  // Scheduler telemetry (trace propagation + utilization, PR 10): worker
+  // busy time feeds the run report's "jobs" section; the histograms use
+  // log-scale bounds because job run times span microseconds to seconds.
+  reg.counter("jobs.busy_us");
+  reg.gauge("jobs.workers");
+  reg.gauge("jobs.queue_depth");
+  reg.histogram("jobs.run_ms", Histogram::log_latency_ms_bounds());
+  reg.histogram("jobs.steal_latency_ms", Histogram::log_latency_ms_bounds());
+  // Per-request serve latency, decomposed into segments and keyed cold
+  // (experiment-cache miss) vs warm (hit). Pre-registered so the stats
+  // response and dashboards always see the full set, zero-valued when the
+  // daemon never ran.
+  reg.histogram("serve.request_queue_ms", Histogram::log_latency_ms_bounds());
+  reg.histogram("serve.request_cache_ms", Histogram::log_latency_ms_bounds());
+  reg.histogram("serve.request_compute_ms",
+                Histogram::log_latency_ms_bounds());
+  reg.histogram("serve.request_render_ms", Histogram::log_latency_ms_bounds());
+  reg.histogram("serve.request_total_cold_ms",
+                Histogram::log_latency_ms_bounds());
+  reg.histogram("serve.request_total_warm_ms",
+                Histogram::log_latency_ms_bounds());
   reg.gauge("flow.num_threads");
   reg.gauge("flow.speculation_lanes");
   reg.gauge("flow.fault_pack_width");
@@ -158,7 +188,8 @@ double histogram_mean(const HistogramSample& h) {
   return h.sum / static_cast<double>(h.count);
 }
 
-double histogram_quantile(const HistogramSample& h, double q) {
+double histogram_quantile(const HistogramSample& h, double q, bool* clamped) {
+  if (clamped != nullptr) *clamped = false;
   if (h.count == 0 || h.bounds.empty()) return 0.0;
   q = std::min(1.0, std::max(0.0, q));
   const double rank = q * static_cast<double>(h.count);
@@ -170,7 +201,12 @@ double histogram_quantile(const HistogramSample& h, double q) {
     const double lo = static_cast<double>(cumulative);
     cumulative += in_bucket;
     if (static_cast<double>(cumulative) < rank) continue;
-    if (i >= h.bounds.size()) return h.bounds.back();  // overflow bucket
+    if (i >= h.bounds.size()) {
+      // Overflow bucket: the true quantile exceeds every finite bound.
+      // Return the clamp explicitly (see the header) rather than guessing.
+      if (clamped != nullptr) *clamped = true;
+      return h.bounds.back();
+    }
     const double lower = i == 0 ? 0.0 : h.bounds[i - 1];
     const double upper = h.bounds[i];
     const double frac = (rank - lo) / static_cast<double>(in_bucket);

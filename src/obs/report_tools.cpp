@@ -313,6 +313,89 @@ void html_phases(const JsonValue* phases, int depth, std::ostringstream& out) {
   }
 }
 
+/// One histogram-summary row (count/mean/p50/p99) from the "histograms"
+/// section; skipped when absent. A clamped p99 is marked with "+" (the true
+/// tail exceeded the last bucket).
+void html_histogram_row(const JsonValue* histograms, const std::string& name,
+                        std::ostringstream& out) {
+  const JsonValue* h =
+      histograms != nullptr ? histograms->find(name) : nullptr;
+  if (h == nullptr || !h->is_object()) return;
+  const JsonValue* clamped = h->find("p99_clamped");
+  const bool is_clamped = clamped != nullptr &&
+                          clamped->kind == JsonValue::Kind::kBool &&
+                          clamped->boolean;
+  out << "<tr><td>" << html_escape(name) << "</td><td>"
+      << num(h->find("count") != nullptr ? h->find("count")->as_number() : 0)
+      << "</td><td>"
+      << num(h->find("mean") != nullptr ? h->find("mean")->as_number() : 0)
+      << "</td><td>"
+      << num(h->find("p50") != nullptr ? h->find("p50")->as_number() : 0)
+      << "</td><td>"
+      << num(h->find("p99") != nullptr ? h->find("p99")->as_number() : 0)
+      << (is_clamped ? "+" : "") << "</td></tr>\n";
+}
+
+/// Scheduler panel: the schema-v4 "jobs" utilization section plus the
+/// jobs.run_ms / jobs.steal_latency_ms histogram summaries. Reports
+/// predating v4 (or with no scheduler activity) degrade to a note.
+void html_scheduler_panel(const JsonValue& report, std::ostringstream& out) {
+  const JsonValue* jobs = report.find("jobs");
+  if (jobs == nullptr || !jobs->is_object()) {
+    out << "<p class=\"dim\">no scheduler data (pre-v4 report)</p>\n";
+    return;
+  }
+  bool any_nonzero = false;
+  for (const auto& [name, value] : jobs->object) {
+    any_nonzero |= value.is_number() && value.number != 0.0;
+  }
+  if (!any_nonzero) {
+    out << "<p class=\"dim\">no scheduler activity in this run</p>\n";
+    return;
+  }
+  html_kv_table(jobs, out);
+  const JsonValue* histograms = report.find("histograms");
+  std::ostringstream rows;
+  html_histogram_row(histograms, "jobs.run_ms", rows);
+  html_histogram_row(histograms, "jobs.steal_latency_ms", rows);
+  if (!rows.str().empty()) {
+    out << "<h3>Job timing (ms)</h3>\n<table><tr><th>histogram</th>"
+           "<th>count</th><th>mean</th><th>p50</th><th>p99</th></tr>\n"
+        << rows.str() << "</table>\n";
+  }
+}
+
+/// Request-latency panel: the serve.request_* histogram summaries -- totals
+/// keyed cold vs warm plus the queue/cache/compute/render decomposition.
+/// Reports with no serve traffic degrade to a note.
+void html_request_latency_panel(const JsonValue& report,
+                                std::ostringstream& out) {
+  static const char* kNames[] = {
+      "serve.request_total_cold_ms", "serve.request_total_warm_ms",
+      "serve.request_queue_ms",      "serve.request_cache_ms",
+      "serve.request_compute_ms",    "serve.request_render_ms"};
+  const JsonValue* histograms = report.find("histograms");
+  bool any_samples = false;
+  for (const char* name : kNames) {
+    const JsonValue* h =
+        histograms != nullptr ? histograms->find(name) : nullptr;
+    const JsonValue* count = h != nullptr ? h->find("count") : nullptr;
+    any_samples |= count != nullptr && count->as_number() > 0.0;
+  }
+  if (!any_samples) {
+    out << "<p class=\"dim\">no request latency data in this run</p>\n";
+    return;
+  }
+  out << "<table><tr><th>histogram</th><th>count</th><th>mean</th>"
+         "<th>p50</th><th>p99</th></tr>\n";
+  for (const char* name : kNames) {
+    html_histogram_row(histograms, name, out);
+  }
+  out << "</table>\n"
+         "<p class=\"dim\">p99 marked + when clamped to the last bucket "
+         "(true tail is larger)</p>\n";
+}
+
 }  // namespace
 
 /// Serving panel: every serve.* / jobs.* counter and gauge, so a daemon or
@@ -450,6 +533,25 @@ DiffResult diff_run_reports(const JsonValue& baseline, const JsonValue& current,
     }
   }
 
+  if (thresholds.max_obs_overhead_pct >= 0.0) {
+    // Instrumentation-overhead gate: baseline is the FBT_OBS=OFF
+    // bench_obs_overhead report, current the ON report; both publish the
+    // min-of-N flow walltime as the obs.flow_run_ms gauge.
+    const double off_ms = metric_value(baseline, "gauges", "obs.flow_run_ms");
+    const double on_ms = metric_value(current, "gauges", "obs.flow_run_ms");
+    summary << "obs_flow_run_ms: " << num(off_ms) << " -> " << num(on_ms)
+            << "\n";
+    if (off_ms > 0.0) {
+      const double overhead_pct = (on_ms - off_ms) / off_ms * 100.0;
+      if (overhead_pct > thresholds.max_obs_overhead_pct) {
+        result.violations.push_back(
+            "observability overhead " + num(overhead_pct) + "% (" +
+            num(off_ms) + "ms off -> " + num(on_ms) + "ms on), allowed " +
+            num(thresholds.max_obs_overhead_pct) + "%");
+      }
+    }
+  }
+
   summary << "changed metrics:\n";
   append_metric_deltas(baseline, current, "gauges", summary);
   append_metric_deltas(baseline, current, "counters", summary);
@@ -512,6 +614,12 @@ std::string render_html_dashboard(const JsonValue& report,
 
   out << "<h2>Serving</h2>\n";
   html_serving_panel(report, out);
+
+  out << "<h2>Request latency</h2>\n";
+  html_request_latency_panel(report, out);
+
+  out << "<h2>Scheduler</h2>\n";
+  html_scheduler_panel(report, out);
 
   out << "<h2>Memory</h2>\n";
   html_memory_panel(report, out);

@@ -39,6 +39,12 @@ struct DiffThresholds {
   /// gauge (serial grade walltime / pack-width-64 grade walltime from
   /// bench_ppsfp). Disabled by default; the ppsfp CI job gates it at 4.
   double min_pack_speedup = -1.0;
+  /// Max allowed increase of the obs.flow_run_ms gauge (min-of-N flow
+  /// walltime from bench_obs_overhead), in percent of baseline. Diff an
+  /// FBT_OBS=OFF report (baseline) against the ON report (current) to gate
+  /// the cost of instrumentation; the CI obs_overhead job uses 2. Disabled
+  /// by default.
+  double max_obs_overhead_pct = -1.0;
 };
 
 struct DiffResult {

@@ -1,5 +1,6 @@
 #include "obs/run_report.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -93,6 +94,32 @@ RunReportData collect_run_report(
   data.phases = PhaseTrace::instance().summarize();
   data.metrics = registry().snapshot();
   data.analytics = derive_analytics(journal().events(), data.metrics);
+  // "jobs" utilization (schema v4) from the pre-registered scheduler
+  // metrics; elapsed is wall time since the trace epoch, which a JobSystem
+  // constructor establishes before any task runs.
+  for (const CounterSample& c : data.metrics.counters) {
+    if (c.name == "jobs.submitted") data.jobs.submitted = c.value;
+    if (c.name == "jobs.executed") data.jobs.executed = c.value;
+    if (c.name == "jobs.steals") data.jobs.steals = c.value;
+    if (c.name == "jobs.busy_us") {
+      data.jobs.busy_ms = static_cast<double>(c.value) / 1000.0;
+    }
+  }
+  for (const GaugeSample& g : data.metrics.gauges) {
+    if (g.name == "jobs.workers" && g.value > 0.0) {
+      data.jobs.workers = static_cast<std::uint64_t>(g.value);
+    }
+  }
+  if (data.jobs.workers > 0) {
+    const double elapsed_ms =
+        static_cast<double>(detail::trace_now_us()) / 1000.0;
+    const double capacity_ms =
+        elapsed_ms * static_cast<double>(data.jobs.workers);
+    if (capacity_ms > 0.0) {
+      data.jobs.idle_ms = std::max(0.0, capacity_ms - data.jobs.busy_ms);
+      data.jobs.utilization = std::min(1.0, data.jobs.busy_ms / capacity_ms);
+    }
+  }
   FBT_OBS_FOOTPRINT("obs.journal", journal().footprint_bytes());
   FBT_OBS_FOOTPRINT("obs.phase_trace", PhaseTrace::instance().footprint_bytes());
   data.memory = collect_memory_report();
@@ -161,11 +188,15 @@ std::string render_run_report(const RunReportData& data) {
   for (const HistogramSample& h : data.metrics.histograms) {
     out += first ? "\n" : ",\n";
     first = false;
+    bool p99_clamped = false;
+    const double p99 = histogram_quantile(h, 0.99, &p99_clamped);
     out += "    \"" + json_escape(h.name) + "\": {\"count\": " +
            fmt("%" PRIu64, h.count) + ", \"sum\": " + json_number(h.sum) +
            ", \"mean\": " + json_number(histogram_mean(h)) +
            ", \"p50\": " + json_number(histogram_quantile(h, 0.5)) +
            ", \"p90\": " + json_number(histogram_quantile(h, 0.9)) +
+           ", \"p99\": " + json_number(p99) +
+           ", \"p99_clamped\": " + (p99_clamped ? "true" : "false") +
            ", \"buckets\": [";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out += ", ";
@@ -203,6 +234,14 @@ std::string render_run_report(const RunReportData& data) {
              ", \"wasted\": %" PRIu64 "}\n",
              sp.batches, sp.lanes_evaluated, sp.hits, sp.wasted);
   out += "  },\n";
+
+  const JobsSummary& jobs = data.jobs;
+  out += fmt("  \"jobs\": {\"workers\": %" PRIu64 ", \"submitted\": %" PRIu64
+             ", \"executed\": %" PRIu64 ", \"steals\": %" PRIu64,
+             jobs.workers, jobs.submitted, jobs.executed, jobs.steals);
+  out += ", \"busy_ms\": " + ms_number(jobs.busy_ms) +
+         ", \"idle_ms\": " + ms_number(jobs.idle_ms) +
+         ", \"utilization\": " + json_number(jobs.utilization) + "},\n";
 
   const MemoryReport& mem = data.memory;
   out += "  \"memory\": {\n";

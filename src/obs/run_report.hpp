@@ -5,11 +5,11 @@
 // perf trajectory is diffable across PRs (`tools/fbt_report diff` gates CI
 // on them).
 //
-// Schema (version 3) -- keys are emitted in this fixed order, metric and
+// Schema (version 4) -- keys are emitted in this fixed order, metric and
 // config keys sorted by name, so reports diff cleanly:
 //
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "tool": "bench_table4_1",
 //     "git_sha": "abc1234",
 //     "timestamp_utc": "2026-08-05T12:00:00Z",
@@ -22,6 +22,7 @@
 //     "gauges": {"flow.fault_coverage_percent": 91.2, ...},
 //     "histograms": {"fault.grade_duration_ms":
 //        {"count": 7, "sum": 3.5, "mean": 0.5, "p50": 0.4, "p90": 1.2,
+//         "p99": 1.9, "p99_clamped": false,
 //         "buckets": [{"le": 0.1, "count": 3}, ..., {"le": "inf", "count": 0}]}},
 //     "analytics": {
 //       "convergence": [{"tests": 64, "detected": 321}, ...],
@@ -30,6 +31,8 @@
 //                          "peak_swa": 12.5}, ...],
 //       "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3,
 //                       "wasted": 10}},
+//     "jobs": {"workers": 4, "submitted": 100, "executed": 100, "steals": 7,
+//              "busy_ms": 120.000, "idle_ms": 280.000, "utilization": 0.3},
 //     "memory": {
 //       "peak_rss_bytes": 104857600,
 //       "current_rss_bytes": 94371840,
@@ -43,12 +46,15 @@
 // Version history: v1 (PR 1) had neither "analytics" nor the histogram
 // mean/p50/p90 summary values; v2 (PR 5) added them; v3 adds the "memory"
 // section and the per-phase rss_delta_bytes / alloc_bytes / alloc_count
-// fields. Consumers must tolerate a missing "memory" section (v2 reports
-// remain renderable and diffable; absent memory quantities diff as 0).
-// Histogram summaries are guarded: a histogram with no samples renders
-// mean/p50/p90 as 0, never NaN. bytes_per_gate / bytes_per_fault divide the
-// footprint total by the flow.num_gates / flow.num_faults gauges (0 when the
-// gauge is unset).
+// fields; v4 (scheduler telemetry) adds the "jobs" utilization section and
+// the histogram p99 / p99_clamped summary values (p99_clamped is true when
+// the rank landed in the overflow bucket, so the reported p99 is only a
+// lower bound -- see obs::histogram_quantile). Consumers must tolerate a
+// missing "memory" or "jobs" section (v2/v3 reports remain renderable and
+// diffable; absent quantities diff as 0). Histogram summaries are guarded: a
+// histogram with no samples renders mean/p50/p90/p99 as 0, never NaN.
+// bytes_per_gate / bytes_per_fault divide the footprint total by the
+// flow.num_gates / flow.num_faults gauges (0 when the gauge is unset).
 #pragma once
 
 #include <map>
@@ -62,10 +68,24 @@
 
 namespace fbt::obs {
 
+/// Scheduler utilization for the "jobs" section (schema v4): lifetime totals
+/// of the process-wide jobs.* metrics, with busy/idle derived against the
+/// wall time since the trace epoch. All zeros when no JobSystem ran (or
+/// under FBT_OBS=OFF, where busy-time accounting compiles away).
+struct JobsSummary {
+  std::uint64_t workers = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  double busy_ms = 0.0;
+  double idle_ms = 0.0;      ///< workers * elapsed - busy, floored at 0
+  double utilization = 0.0;  ///< busy / (workers * elapsed), in [0, 1]
+};
+
 /// Everything that goes into one report. Fields are plain data so tests can
 /// build a fixed instance and pin the rendered bytes.
 struct RunReportData {
-  int schema_version = 3;
+  int schema_version = 4;
   std::string tool;
   std::string git_sha;
   std::string timestamp_utc;
@@ -73,6 +93,7 @@ struct RunReportData {
   std::vector<PhaseSummary> phases;
   MetricsSnapshot metrics;
   RunAnalytics analytics;
+  JobsSummary jobs;
   MemoryReport memory;
 };
 

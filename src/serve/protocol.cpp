@@ -184,6 +184,59 @@ std::string compact_json(const std::string& pretty) {
   return out;
 }
 
+namespace {
+
+void append_latency(std::string& out, const char* key,
+                    const LatencyStats& l) {
+  out += "\"";
+  out += key;
+  out += "\": {\"count\": " + std::to_string(l.count);
+  out += ", \"mean_ms\": " + fmt_double(l.mean_ms);
+  out += ", \"p50_ms\": " + fmt_double(l.p50_ms);
+  out += ", \"p99_ms\": " + fmt_double(l.p99_ms);
+  out += ", \"p99_clamped\": ";
+  out += l.p99_clamped ? "true" : "false";
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_stats(const std::string& id, const ServiceStats& s) {
+  // The flat cache/request fields predate the latency section and stay
+  // byte-compatible with the v1 stats line (tests and CI grep for them).
+  std::string out = "{\"type\": \"stats\", \"id\": \"";
+  out += obs::json_escape(id);
+  out += "\", \"requests_total\": " + std::to_string(s.requests_total);
+  out += ", \"cache_hits\": " + std::to_string(s.cache_hits);
+  out += ", \"cache_misses\": " + std::to_string(s.cache_misses);
+  out += ", \"cache_evictions\": " + std::to_string(s.cache_evictions);
+  out += ", \"cache_entries\": " + std::to_string(s.cache_entries);
+  out += ", \"cache_bytes\": " + std::to_string(s.cache_bytes);
+  out += ", \"latency\": {";
+  append_latency(out, "cold", s.cold);
+  out += ", ";
+  append_latency(out, "warm", s.warm);
+  out += ", ";
+  append_latency(out, "queue", s.queue);
+  out += ", ";
+  append_latency(out, "cache_lookup", s.cache_lookup);
+  out += ", ";
+  append_latency(out, "compute", s.compute);
+  out += ", ";
+  append_latency(out, "render", s.render);
+  out += "}";
+  const SchedulerStats& sch = s.scheduler;
+  out += ", \"scheduler\": {\"workers\": " + std::to_string(sch.workers);
+  out += ", \"queue_depth\": " + std::to_string(sch.queue_depth);
+  out += ", \"submitted\": " + std::to_string(sch.submitted);
+  out += ", \"executed\": " + std::to_string(sch.executed);
+  out += ", \"steals\": " + std::to_string(sch.steals);
+  out += ", \"busy_ms\": " + fmt_double(sch.busy_ms);
+  out += ", \"utilization\": " + fmt_double(sch.utilization);
+  out += "}}";
+  return out;
+}
+
 std::string render_progress(const std::string& id,
                             const obs::JournalEvent& event) {
   std::string out = "{\"type\": \"progress\", \"id\": \"";

@@ -9,10 +9,11 @@
 //   {"type":"result","id":...,"cache":"hit"|"miss",...,"report":{...}}
 //   {"type":"error","id":...,"message":"..."}
 //   {"type":"pong","id":...}
-//   {"type":"stats","id":...,"cache_hits":...,...}
+//   {"type":"stats","id":...,"cache_hits":...,"latency":{...},
+//    "scheduler":{...}}                          see ServiceStats
 //   {"type":"bye","id":...}                      shutdown acknowledged
 //
-// The "report" member of a result embeds the full schema-v3 run report
+// The "report" member of a result embeds the full schema-v4 run report
 // (obs/run_report.hpp) compacted to one line. Identity fields "detect_hash"
 // and "first_detect_hash" fingerprint the per-fault detect counts and
 // first-detect attribution so clients (and CI) can assert that a cache hit
@@ -85,6 +86,53 @@ struct ExperimentSummary {
            first_detect.size() * sizeof(FaultFirstDetect);
   }
 };
+
+/// Summary of one latency histogram for the stats response, in ms.
+/// p99_clamped mirrors obs::histogram_quantile's overflow flag: when true
+/// the p99 is only a lower bound (the rank landed past the last bucket).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool p99_clamped = false;
+};
+
+/// Scheduler snapshot carried by the stats response (see
+/// jobs::JobSystem::scheduler_snapshot).
+struct SchedulerStats {
+  std::uint64_t workers = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  double busy_ms = 0.0;
+  double utilization = 0.0;
+};
+
+/// Everything a stats response carries: request/cache totals (the v1 flat
+/// fields, kept byte-compatible), per-request latency decomposed into
+/// queue / cache_lookup / compute / render segments plus cold/warm totals,
+/// and the scheduler snapshot. Assembled by ExperimentService::
+/// collect_stats(); frozen at shutdown so the drain cannot skew the final
+/// response (see ExperimentService::freeze_stats).
+struct ServiceStats {
+  std::uint64_t requests_total = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_bytes = 0;
+  LatencyStats cold;          ///< serve.request_total_cold_ms
+  LatencyStats warm;          ///< serve.request_total_warm_ms
+  LatencyStats queue;         ///< serve.request_queue_ms
+  LatencyStats cache_lookup;  ///< serve.request_cache_ms
+  LatencyStats compute;       ///< serve.request_compute_ms
+  LatencyStats render;        ///< serve.request_render_ms
+  SchedulerStats scheduler;
+};
+
+std::string render_stats(const std::string& id, const ServiceStats& stats);
 
 std::string render_progress(const std::string& id,
                             const obs::JournalEvent& event);

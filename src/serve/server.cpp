@@ -13,24 +13,31 @@
 #include "circuits/synth.hpp"
 #include "netlist/bench_io.hpp"
 #include "obs/instrument.hpp"
+#include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 
 namespace fbt::serve {
 
 namespace {
 
-std::string render_stats_line(const std::string& id,
-                              const ArtifactCache::Stats& stats,
-                              std::uint64_t requests_total) {
-  std::string out = "{\"type\": \"stats\", \"id\": \"";
-  out += obs::json_escape(id);
-  out += "\", \"requests_total\": " + std::to_string(requests_total);
-  out += ", \"cache_hits\": " + std::to_string(stats.hits);
-  out += ", \"cache_misses\": " + std::to_string(stats.misses);
-  out += ", \"cache_evictions\": " + std::to_string(stats.evictions);
-  out += ", \"cache_entries\": " + std::to_string(stats.entries);
-  out += ", \"cache_bytes\": " + std::to_string(stats.bytes);
-  out += "}";
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Summary of the named serve.request_* histogram from a metrics snapshot.
+LatencyStats latency_from(const obs::MetricsSnapshot& snap,
+                          const std::string& name) {
+  LatencyStats out;
+  for (const obs::HistogramSample& h : snap.histograms) {
+    if (h.name != name) continue;
+    out.count = h.count;
+    out.mean_ms = obs::histogram_mean(h);
+    out.p50_ms = obs::histogram_quantile(h, 0.5);
+    out.p99_ms = obs::histogram_quantile(h, 0.99, &out.p99_clamped);
+    break;
+  }
   return out;
 }
 
@@ -48,7 +55,52 @@ void drain_journal(std::size_t& cursor, const std::string& id,
 
 ExperimentService::ExperimentService(jobs::JobSystem& jobs,
                                      ArtifactCache& cache)
-    : jobs_(jobs), cache_(cache) {}
+    : jobs_(jobs), cache_(cache) {
+  // Pre-register the jobs.* / serve.request_* instruments so the stats
+  // response always carries the full set (zero-valued before any request).
+  obs::register_core_counters();
+}
+
+ServiceStats ExperimentService::collect_stats() const {
+  ServiceStats out;
+  const ArtifactCache::Stats cs = cache_.stats();
+  out.requests_total = requests_total();
+  out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
+  out.cache_evictions = cs.evictions;
+  out.cache_entries = cs.entries;
+  out.cache_bytes = cs.bytes;
+  const obs::MetricsSnapshot snap = obs::registry().snapshot();
+  out.cold = latency_from(snap, "serve.request_total_cold_ms");
+  out.warm = latency_from(snap, "serve.request_total_warm_ms");
+  out.queue = latency_from(snap, "serve.request_queue_ms");
+  out.cache_lookup = latency_from(snap, "serve.request_cache_ms");
+  out.compute = latency_from(snap, "serve.request_compute_ms");
+  out.render = latency_from(snap, "serve.request_render_ms");
+  const jobs::SchedulerSnapshot js = jobs_.scheduler_snapshot();
+  out.scheduler.workers = js.workers;
+  out.scheduler.queue_depth = js.queue_depth;
+  out.scheduler.submitted = js.submitted;
+  out.scheduler.executed = js.executed;
+  out.scheduler.steals = js.steals;
+  out.scheduler.busy_ms = js.busy_ms;
+  out.scheduler.utilization = js.utilization;
+  return out;
+}
+
+void ExperimentService::freeze_stats() {
+  ServiceStats snap = collect_stats();
+  std::lock_guard lock(stats_mutex_);
+  if (!frozen_stats_.has_value()) frozen_stats_ = std::move(snap);
+}
+
+ServiceStats ExperimentService::stats_snapshot() const {
+  {
+    std::lock_guard lock(stats_mutex_);
+    if (frozen_stats_.has_value()) return *frozen_stats_;
+  }
+  return collect_stats();
+}
 
 std::shared_ptr<const Netlist> ExperimentService::fetch_netlist(
     const CacheKey& key, const std::function<Netlist()>& load) {
@@ -141,72 +193,100 @@ ExperimentSummary ExperimentService::run_experiment(
   requests_.fetch_add(1, std::memory_order_relaxed);
   FBT_OBS_COUNTER_ADD("serve.requests_total", 1);
 
-  ResolvedNetlist target = resolve_target(request, /*need_netlist=*/false);
-  ResolvedNetlist driver =
-      resolve_driver(request, target, /*need_netlist=*/false);
-
+  // The cache segment of the request: name/key resolution, the experiment
+  // lookup, and (cold only, below) artifact materialization through the
+  // cache. Warm requests record only this segment plus the total.
+  const auto cache_t0 = std::chrono::steady_clock::now();
   BistExperimentConfig config = request.config;
   config.target_name = request.target;
   config.driver_name = request.driver;
-  const CacheKey exp_key =
-      experiment_cache_key(target.key, driver.key, config);
+  ResolvedNetlist target;
+  ResolvedNetlist driver;
+  CacheKey exp_key;
+  std::shared_ptr<const void> found;
+  {
+    FBT_OBS_PHASE("request_cache");
+    target = resolve_target(request, /*need_netlist=*/false);
+    driver = resolve_driver(request, target, /*need_netlist=*/false);
+    exp_key = experiment_cache_key(target.key, driver.key, config);
+    found = cache_.lookup(ArtifactCache::make_id("experiment", exp_key));
+  }
   const std::string exp_id = ArtifactCache::make_id("experiment", exp_key);
   if (experiment_key_hex != nullptr) *experiment_key_hex = exp_key.hex();
-  if (const std::shared_ptr<const void> found = cache_.lookup(exp_id)) {
+  if (found != nullptr) {
+    FBT_OBS_HIST_RECORD_LOG("serve.request_cache_ms", ms_since(cache_t0));
     if (cache_hit != nullptr) *cache_hit = true;
     return *std::static_pointer_cast<const ExperimentSummary>(found);
   }
   if (cache_hit != nullptr) *cache_hit = false;
 
-  if (target.netlist == nullptr) target = resolve_target(request, true);
-  if (driver.netlist == nullptr) {
-    driver = resolve_driver(request, target, true);
-  }
-
-  // Derived artifacts, each cached under its own content key.
   ExperimentArtifacts artifacts;
-  artifacts.target = target.netlist;
-  artifacts.driver = driver.netlist;
-  artifacts.flat = cache_.get_or_compute<FlatFanins>(
-      "flat_fanins", flat_fanins_cache_key(target.key),
-      // The view constructor taking shared_ptr keeps the netlist alive for
-      // as long as the cached FlatFanins is: the cache may evict the netlist
-      // entry independently, and the view's spans point into netlist-owned
-      // CSR storage.
-      [&] { return std::make_shared<const FlatFanins>(target.netlist); },
-      [](const FlatFanins& f) { return f.footprint_bytes(); });
-  artifacts.faults = cache_.get_or_compute<TransitionFaultList>(
-      "fault_list", fault_list_cache_key(target.key),
-      [&] {
-        return std::make_shared<const TransitionFaultList>(
-            TransitionFaultList::collapsed(*target.netlist));
-      },
-      [](const TransitionFaultList& f) { return f.footprint_bytes(); });
-  const std::shared_ptr<const double> calibration =
-      cache_.get_or_compute<double>(
-          "calibration",
-          calibration_cache_key(target.key, driver.key, config.calibration),
-          [&] {
-            return std::make_shared<const double>(
-                measure_swa_func(*target.netlist, *driver.netlist,
-                                 config.calibration, artifacts.flat)
-                    .peak_percent);
-          },
-          [](const double&) { return std::uint64_t{sizeof(double)}; });
-  artifacts.swa_func_percent = *calibration;
+  {
+    FBT_OBS_PHASE("request_cache");
+    if (target.netlist == nullptr) target = resolve_target(request, true);
+    if (driver.netlist == nullptr) {
+      driver = resolve_driver(request, target, true);
+    }
+
+    // Derived artifacts, each cached under its own content key.
+    artifacts.target = target.netlist;
+    artifacts.driver = driver.netlist;
+    artifacts.flat = cache_.get_or_compute<FlatFanins>(
+        "flat_fanins", flat_fanins_cache_key(target.key),
+        // The view constructor taking shared_ptr keeps the netlist alive for
+        // as long as the cached FlatFanins is: the cache may evict the
+        // netlist entry independently, and the view's spans point into
+        // netlist-owned CSR storage.
+        [&] { return std::make_shared<const FlatFanins>(target.netlist); },
+        [](const FlatFanins& f) { return f.footprint_bytes(); });
+    artifacts.faults = cache_.get_or_compute<TransitionFaultList>(
+        "fault_list", fault_list_cache_key(target.key),
+        [&] {
+          return std::make_shared<const TransitionFaultList>(
+              TransitionFaultList::collapsed(*target.netlist));
+        },
+        [](const TransitionFaultList& f) { return f.footprint_bytes(); });
+    const std::shared_ptr<const double> calibration =
+        cache_.get_or_compute<double>(
+            "calibration",
+            calibration_cache_key(target.key, driver.key, config.calibration),
+            [&] {
+              return std::make_shared<const double>(
+                  measure_swa_func(*target.netlist, *driver.netlist,
+                                   config.calibration, artifacts.flat)
+                      .peak_percent);
+            },
+            [](const double&) { return std::uint64_t{sizeof(double)}; });
+    artifacts.swa_func_percent = *calibration;
+  }
+  FBT_OBS_HIST_RECORD_LOG("serve.request_cache_ms", ms_since(cache_t0));
 
   // Run the flow as a task on the shared pool, streaming journal events
-  // while it executes (see the header's interleaving caveat).
+  // while it executes (see the header's interleaving caveat). queue-wait is
+  // submit -> first instruction of the task (written by the worker, read
+  // only after wait() synchronizes on task completion); compute is the
+  // task's own run time.
   const bool stream = emit != nullptr && request.stream_progress;
   std::size_t cursor = obs::journal().size();
   std::optional<BistExperimentResult> result;
-  const jobs::TaskHandle handle = jobs_.submit(
-      [&] { result.emplace(run_bist_experiment(config, jobs_, artifacts)); });
+  const auto submit_t = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point compute_t0 = submit_t;
+  const jobs::TaskHandle handle = jobs_.submit([&] {
+    compute_t0 = std::chrono::steady_clock::now();
+    {
+      FBT_OBS_PHASE("request_compute");
+      result.emplace(run_bist_experiment(config, jobs_, artifacts));
+    }
+    FBT_OBS_HIST_RECORD_LOG("serve.request_compute_ms", ms_since(compute_t0));
+  });
   while (!handle.done()) {
     if (stream) drain_journal(cursor, id, emit);
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   jobs_.wait(handle);  // rethrows a failed run
+  const double queue_ms =
+      std::chrono::duration<double, std::milli>(compute_t0 - submit_t).count();
+  FBT_OBS_HIST_RECORD_LOG("serve.request_queue_ms", queue_ms);
   if (stream) drain_journal(cursor, id, emit);
 
   ExperimentSummary summary;
@@ -241,7 +321,7 @@ bool ExperimentService::handle_line(
       emit(render_pong(request.id));
       return true;
     case RequestType::kStats:
-      emit(render_stats_line(request.id, cache_.stats(), requests_total()));
+      emit(render_stats(request.id, stats_snapshot()));
       return true;
     case RequestType::kShutdown:
       emit(render_bye(request.id));
@@ -250,21 +330,29 @@ bool ExperimentService::handle_line(
       break;
   }
   const auto start = std::chrono::steady_clock::now();
+  FBT_OBS_PHASE("serve_request");
   try {
     bool hit = false;
     std::string key_hex;
     const ExperimentSummary summary =
         run_experiment(request.experiment, &hit, emit, request.id, &key_hex);
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    const double elapsed_ms = ms_since(start);
+    const auto render_t0 = std::chrono::steady_clock::now();
     const std::string report = compact_json(render_run_report(
         obs::collect_run_report(
             "fbt_serve", {{"target", summary.target},
                           {"cache", hit ? "hit" : "miss"}})));
-    emit(render_result(request.id, summary, hit, key_hex, elapsed_ms,
-                       report));
+    const std::string line_out =
+        render_result(request.id, summary, hit, key_hex, elapsed_ms, report);
+    FBT_OBS_HIST_RECORD_LOG("serve.request_render_ms", ms_since(render_t0));
+    emit(line_out);
+    // Totals keyed cold vs warm: the two populations differ by orders of
+    // magnitude, so one merged histogram would bury the warm path.
+    if (hit) {
+      FBT_OBS_HIST_RECORD_LOG("serve.request_total_warm_ms", ms_since(start));
+    } else {
+      FBT_OBS_HIST_RECORD_LOG("serve.request_total_cold_ms", ms_since(start));
+    }
   } catch (const std::exception& e) {
     emit(render_error(request.id, e.what()));
   }

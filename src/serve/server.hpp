@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,6 +62,20 @@ class ExperimentService {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Assembles a live ServiceStats from the cache, the request counter, the
+  /// serve.request_* latency histograms, and the scheduler snapshot.
+  ServiceStats collect_stats() const;
+
+  /// Freezes the stats at their current values: every later stats_snapshot()
+  /// returns this copy. Called by the shutdown path BEFORE the graceful
+  /// drain starts, so the final `stats` response and the partial run report
+  /// agree instead of racing the journal/metrics flush. First freeze wins;
+  /// later calls are no-ops.
+  void freeze_stats();
+
+  /// The frozen stats when freeze_stats() ran, else collect_stats().
+  ServiceStats stats_snapshot() const;
+
  private:
   struct ResolvedNetlist {
     CacheKey key;
@@ -79,6 +94,8 @@ class ExperimentService {
   jobs::JobSystem& jobs_;
   ArtifactCache& cache_;
   std::atomic<std::uint64_t> requests_{0};
+  mutable std::mutex stats_mutex_;  ///< guards frozen_stats_
+  std::optional<ServiceStats> frozen_stats_;
 };
 
 /// Blocking AF_UNIX NDJSON server: accept loop + one thread per connection.

@@ -75,8 +75,10 @@ void PackedSeqSim::step(std::span<const std::uint64_t> pi_words,
     for (const FlatFanins::Entry& e : flat_.entries()) {
       vals[e.node] = eval_gate64_indexed(e.type, ids + e.first, e.count, vals);
     }
-    FBT_OBS_COUNTER_ADD("sim.packed_gates_evaluated", flat_.entries().size());
-    FBT_OBS_COUNTER_ADD("sim.packed_cycles_stepped", 1);
+#if FBT_OBS_ENABLED
+    gates_evaluated_.add(flat_.entries().size());
+    cycles_stepped_.add(1);
+#endif
   }
 
   // Per-lane switching activity via carry-save vertical counters: add each

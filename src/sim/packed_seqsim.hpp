@@ -19,6 +19,7 @@
 
 #include "netlist/flat_fanins.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace fbt {
 
@@ -71,6 +72,9 @@ class PackedSeqSim {
   std::vector<std::uint64_t> state_;        // packed per-flop state
   std::vector<std::uint64_t> planes_;       // vertical counter bit planes
   bool have_prev_ = false;
+  // Batched per-cycle counters; see the SeqSim members of the same name.
+  obs::LocalCounter gates_evaluated_{"sim.packed_gates_evaluated"};
+  obs::LocalCounter cycles_stepped_{"sim.packed_cycles_stepped"};
 };
 
 }  // namespace fbt

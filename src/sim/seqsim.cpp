@@ -60,8 +60,10 @@ SeqStep SeqSim::step(std::span<const std::uint8_t> pi_values,
     for (const FlatFanins::Entry& e : flat_->entries()) {
       vals[e.node] = eval_gate2_indexed(e.type, ids + e.first, e.count, vals);
     }
-    FBT_OBS_COUNTER_ADD("sim.seqsim_gates_evaluated", flat_->entries().size());
-    FBT_OBS_COUNTER_ADD("sim.seqsim_cycles_stepped", 1);
+#if FBT_OBS_ENABLED
+    gates_evaluated_.add(flat_->entries().size());
+    cycles_stepped_.add(1);
+#endif
   }
 
   // Switching activity vs. the previous settled cycle.

@@ -14,6 +14,7 @@
 
 #include "netlist/flat_fanins.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
 
 namespace fbt {
 
@@ -103,6 +104,10 @@ class SeqSim {
   std::vector<std::uint8_t> state_;        // per flop
   std::size_t cycle_ = 0;
   bool have_prev_ = false;
+  // Batched per-cycle counters: one atomic RMW per simulated cycle is the
+  // dominant observability cost on small circuits (see bench/obs_overhead).
+  obs::LocalCounter gates_evaluated_{"sim.seqsim_gates_evaluated"};
+  obs::LocalCounter cycles_stepped_{"sim.seqsim_cycles_stepped"};
 };
 
 }  // namespace fbt

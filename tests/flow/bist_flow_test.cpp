@@ -1,5 +1,9 @@
 #include "flow/bist_flow.hpp"
 
+#include <set>
+#include <string>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "bist/embedded.hpp"
@@ -8,6 +12,8 @@
 #include "fault/fault_sim.hpp"
 #include "jobs/job_system.hpp"
 #include "netlist/flat_fanins.hpp"
+#include "obs/json.hpp"
+#include "obs/phase.hpp"
 #include "rtl/lockstep.hpp"
 
 namespace fbt {
@@ -54,6 +60,59 @@ TEST(BistFlow, TaskGraphOverloadMatchesSerialReference) {
   EXPECT_DOUBLE_EQ(graph.fault_coverage_percent,
                    serial.fault_coverage_percent);
 }
+
+#if FBT_OBS_ENABLED
+TEST(BistFlow, ChromeTraceShowsTheTaskGraphAcrossWorkers) {
+  // The exported trace of a multi-threaded run must form a real task graph:
+  // every parent edge resolves to a recorded span, spans land on more than
+  // one worker row (tid), and every flow arrow's start has a matching
+  // finish. This is the acceptance pin for cross-worker trace propagation.
+  obs::PhaseTrace::instance().clear();
+  const BistExperimentConfig cfg = small_experiment("s298", "buffers");
+  jobs::JobSystem jobs(4);
+  (void)run_bist_experiment(cfg, jobs, ExperimentArtifacts{});
+
+  const std::string json = obs::PhaseTrace::instance().chrome_trace_json();
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(json, doc, error)) << error;
+  ASSERT_TRUE(doc.is_array());
+
+  std::set<double> span_ids;
+  std::set<double> tids;
+  std::set<double> flow_starts;
+  std::set<double> flow_finishes;
+  bool saw_experiment_span = false;
+  for (const obs::JsonValue& event : doc.array) {
+    const std::string ph = event.find("ph")->as_string("");
+    if (ph == "X") {
+      span_ids.insert(event.find("args")->find("span_id")->as_number());
+      tids.insert(event.find("tid")->as_number());
+      saw_experiment_span |=
+          event.find("name")->as_string("") == "bist_experiment";
+    } else if (ph == "s") {
+      flow_starts.insert(event.find("id")->as_number());
+    } else if (ph == "f") {
+      flow_finishes.insert(event.find("id")->as_number());
+    }
+  }
+  EXPECT_TRUE(saw_experiment_span);
+  // Work actually spread across workers: more than one timeline row. (On a
+  // single-core machine the helping waiter may legitimately execute every
+  // task inline, so only assert when real parallelism is available.)
+  if (std::thread::hardware_concurrency() > 1) EXPECT_GE(tids.size(), 2u);
+  // Correct parent/child edges: every non-zero parent is a recorded span.
+  for (const obs::JsonValue& event : doc.array) {
+    if (event.find("ph")->as_string("") != "X") continue;
+    const double parent =
+        event.find("args")->find("parent_span_id")->as_number();
+    if (parent != 0.0) EXPECT_EQ(span_ids.count(parent), 1u) << parent;
+  }
+  // Flow arrows pair submit sites with execution sites.
+  EXPECT_FALSE(flow_starts.empty());
+  EXPECT_EQ(flow_starts, flow_finishes);
+}
+#endif  // FBT_OBS_ENABLED
 
 TEST(BistFlow, SuppliedArtifactsAreBitIdenticalToDerived) {
   // The serving cache hands pre-computed artifacts to the flow; supplying

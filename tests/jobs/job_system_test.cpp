@@ -182,5 +182,37 @@ TEST(JobSystem, CountersTrackSubmissionAndExecution) {
 }
 #endif
 
+TEST(JobSystem, SchedulerSnapshotTracksLifetimeTotals) {
+  JobSystem jobs(kPool);
+  const SchedulerSnapshot before = jobs.scheduler_snapshot();
+  EXPECT_EQ(before.workers, kPool);
+  EXPECT_EQ(before.submitted, 0u);
+  EXPECT_EQ(before.executed, 0u);
+
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < kTasks; ++i) {
+    handles.push_back(jobs.submit([&ran] { ran.fetch_add(1); }));
+  }
+  jobs.wait_all(handles);
+
+  const SchedulerSnapshot after = jobs.scheduler_snapshot();
+  EXPECT_EQ(after.workers, kPool);
+  EXPECT_EQ(after.submitted, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(after.executed, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_GT(after.elapsed_ms, 0.0);
+  // Utilization is bounded even when busy-time accounting is compiled out
+  // (it reads 0 under FBT_OBS=OFF).
+  EXPECT_GE(after.utilization, 0.0);
+  EXPECT_LE(after.utilization, 1.0);
+#if FBT_OBS_ENABLED
+  EXPECT_GE(after.busy_ms, 0.0);
+#else
+  EXPECT_EQ(after.busy_ms, 0.0);
+#endif
+}
+
 }  // namespace
 }  // namespace fbt::jobs

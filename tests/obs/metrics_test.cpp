@@ -20,6 +20,29 @@ TEST(Counter, StartsAtZeroAndAccumulates) {
   EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(LocalCounter, BatchesAndFlushesExactTotals) {
+  Counter& shared = registry().counter("test.local_counter");
+  shared.reset();
+  {
+    LocalCounter local("test.local_counter");
+    // Small adds stay pending until the batch threshold or destruction.
+    local.add(3);
+    EXPECT_EQ(shared.value(), 0u);
+    // A batch-sized add flushes immediately (threshold is 4096).
+    local.add(5000);
+    EXPECT_EQ(shared.value(), 5003u);
+    local.add(1);
+    // A copy inherits the target but not the pending batch: the original
+    // still owns (and later flushes) its own count exactly once.
+    LocalCounter copy = local;
+    copy.add(2);
+    copy.flush();
+    EXPECT_EQ(shared.value(), 5005u);
+  }
+  // Destruction flushed the original's pending 1.
+  EXPECT_EQ(shared.value(), 5006u);
+}
+
 TEST(Gauge, KeepsLastWrittenValue) {
   Gauge g;
   EXPECT_EQ(g.value(), 0.0);
@@ -133,17 +156,48 @@ TEST(RegisterCoreCounters, CoreNamesAlwaysPresent) {
         // appear as zeros in serial/scalar runs, not be omitted.
         "bist.speculated_lanes", "bist.speculation_hits",
         "bist.speculation_wasted", "bist.speculation_batches",
-        "fault.parallel_shards_graded"}) {
+        "fault.parallel_shards_graded",
+        // Scheduler telemetry (PR 10): report consumers rely on the jobs
+        // section existing even for single-threaded runs.
+        "jobs.submitted", "jobs.executed", "jobs.steals", "jobs.busy_us"}) {
     bool found = false;
     for (const CounterSample& c : snap.counters) found |= c.name == name;
     EXPECT_TRUE(found) << name;
   }
   for (const char* name :
        {"fault.parallel_threads", "flow.num_threads", "flow.speculation_lanes",
-        "flow.fault_coverage_percent", "flow.num_tests", "flow.num_seeds"}) {
+        "flow.fault_coverage_percent", "flow.num_tests", "flow.num_seeds",
+        "jobs.workers", "jobs.queue_depth"}) {
     bool found = false;
     for (const GaugeSample& g : snap.gauges) found |= g.name == name;
     EXPECT_TRUE(found) << name;
+  }
+  // Request-latency histograms pre-register with the log-scale bounds so a
+  // daemon's first stats response carries empty summaries, not absent keys.
+  for (const char* name :
+       {"jobs.run_ms", "jobs.steal_latency_ms", "serve.request_queue_ms",
+        "serve.request_cache_ms", "serve.request_compute_ms",
+        "serve.request_render_ms", "serve.request_total_cold_ms",
+        "serve.request_total_warm_ms"}) {
+    bool found = false;
+    for (const HistogramSample& h : snap.histograms) {
+      if (h.name != name) continue;
+      found = true;
+      EXPECT_EQ(h.bounds, Histogram::log_latency_ms_bounds()) << name;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(Histogram, LogLatencyBoundsSpanMicrosecondsToSeconds) {
+  const std::vector<double> bounds = Histogram::log_latency_ms_bounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.001);   // 1 us
+  EXPECT_DOUBLE_EQ(bounds.back(), 10000.0);  // 10 s
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+    // 1-2-5 spacing: each step grows by at most 2.5x.
+    EXPECT_LE(bounds[i] / bounds[i - 1], 2.5 + 1e-9);
   }
 }
 
@@ -174,6 +228,28 @@ TEST(HistogramSummary, QuantileInterpolatesWithinBucket) {
   EXPECT_DOUBLE_EQ(histogram_quantile(h, -1.0), 0.0);
 }
 
+TEST(HistogramSummary, QuantileReportsOverflowClamping) {
+  // 2 samples in (0, 1], 1 in (1, 10], 1 in overflow.
+  const HistogramSample h{"h", {1.0, 10.0}, {2, 1, 1}, 4, 0.0};
+  bool clamped = true;
+  // Ranks inside finite buckets must CLEAR the flag, not leave it stale.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5, &clamped), 1.0);
+  EXPECT_FALSE(clamped);
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.75, &clamped), 10.0);
+  EXPECT_FALSE(clamped);
+  // The overflow bucket: the value is only a lower bound, flagged as such.
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 1.0, &clamped), 10.0);
+  EXPECT_TRUE(clamped);
+  // Everything in overflow: any quantile is clamped.
+  const HistogramSample all_over{"h", {1.0}, {0, 3}, 3, 0.0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(all_over, 0.5, &clamped), 1.0);
+  EXPECT_TRUE(clamped);
+  // Empty histogram: 0, never flagged.
+  const HistogramSample empty{"h", {1.0}, {0, 0}, 0, 0.0};
+  EXPECT_EQ(histogram_quantile(empty, 0.99, &clamped), 0.0);
+  EXPECT_FALSE(clamped);
+}
+
 #if FBT_OBS_ENABLED
 TEST(InstrumentMacros, UpdateTheGlobalRegistry) {
   Counter& c = registry().counter("test.macro_counter");
@@ -184,6 +260,10 @@ TEST(InstrumentMacros, UpdateTheGlobalRegistry) {
   EXPECT_EQ(registry().gauge("test.macro_gauge").value(), 2.5);
   FBT_OBS_HIST_RECORD_WITH("test.macro_hist", 3, {1, 2, 5});
   EXPECT_GE(registry().histogram("test.macro_hist").count(), 1u);
+  FBT_OBS_HIST_RECORD_LOG("test.macro_log_hist", 0.004);
+  Histogram& log_hist = registry().histogram("test.macro_log_hist");
+  EXPECT_EQ(log_hist.bounds(), Histogram::log_latency_ms_bounds());
+  EXPECT_GE(log_hist.count(), 1u);
 }
 #endif
 

@@ -145,6 +145,32 @@ TEST(DiffRunReports, PackSpeedupGateIsOptIn) {
   EXPECT_FALSE(diff_run_reports(base, cur, gated).regression);
 }
 
+TEST(DiffRunReports, ObsOverheadGateIsOptIn) {
+  // bench_obs_overhead publishes obs.flow_run_ms (min-of-N walltime) in
+  // both the FBT_OBS=OFF baseline and the ON current report; the gate
+  // bounds the relative increase.
+  const JsonValue off =
+      parse_or_die(R"({"gauges": {"obs.flow_run_ms": 100.0}})");
+  const JsonValue on_ok =
+      parse_or_die(R"({"gauges": {"obs.flow_run_ms": 101.5}})");
+  const JsonValue on_slow =
+      parse_or_die(R"({"gauges": {"obs.flow_run_ms": 104.0}})");
+  EXPECT_FALSE(diff_run_reports(off, on_slow, DiffThresholds{}).regression);
+
+  DiffThresholds gated;
+  gated.max_obs_overhead_pct = 2.0;
+  EXPECT_FALSE(diff_run_reports(off, on_ok, gated).regression);
+  const DiffResult result = diff_run_reports(off, on_slow, gated);
+  ASSERT_TRUE(result.regression);
+  EXPECT_NE(result.violations[0].find("observability overhead"),
+            std::string::npos);
+  EXPECT_NE(result.summary_text.find("obs_flow_run_ms"), std::string::npos);
+
+  // A baseline without the gauge (or zero) cannot regress.
+  const JsonValue empty = parse_or_die("{}");
+  EXPECT_FALSE(diff_run_reports(empty, on_slow, gated).regression);
+}
+
 TEST(DiffRunReports, MissingSectionsDiffAsZeros) {
   const JsonValue base = parse_or_die("{}");
   const JsonValue cur = parse_or_die(report_json(91.25, 500, 10.0));
@@ -284,6 +310,50 @@ TEST(RenderHtmlDashboard, SchemaV2ReportStillRenders) {
   const std::string html = render_html_dashboard(report, "");
   EXPECT_NE(html.find("no memory data (schema v2 report)"), std::string::npos);
   EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+/// Schema-v4 report with scheduler utilization and request-latency
+/// histograms, as a serve daemon writes at exit.
+std::string report_json_v4() {
+  return R"({
+  "schema_version": 4,
+  "tool": "fbt_serve",
+  "git_sha": "abc1234",
+  "timestamp_utc": "2026-01-01T00:00:00Z",
+  "config": {},
+  "phases": [],
+  "counters": {},
+  "gauges": {},
+  "histograms": {
+    "jobs.run_ms": {"count": 40, "sum": 100.0, "mean": 2.5, "p50": 2.0, "p90": 4.0, "p99": 5.0, "p99_clamped": false, "buckets": []},
+    "serve.request_total_cold_ms": {"count": 3, "sum": 2400.0, "mean": 800.0, "p50": 750.0, "p90": 900.0, "p99": 1000.0, "p99_clamped": true, "buckets": []},
+    "serve.request_total_warm_ms": {"count": 9, "sum": 4.5, "mean": 0.5, "p50": 0.4, "p90": 0.9, "p99": 1.0, "p99_clamped": false, "buckets": []}
+  },
+  "analytics": {"convergence": [], "segment_yield": [], "speculation": {"batches": 0, "lanes_evaluated": 0, "hits": 0, "wasted": 0}},
+  "jobs": {"workers": 4, "submitted": 40, "executed": 40, "steals": 6, "busy_ms": 90.000, "idle_ms": 310.000, "utilization": 0.225},
+  "memory": {"peak_rss_bytes": 1000, "current_rss_bytes": 900, "allocated_bytes": 0, "allocation_count": 0, "footprints": {}, "bytes_per_gate": 0, "bytes_per_fault": 0}
+})";
+}
+
+TEST(RenderHtmlDashboard, SchedulerAndRequestLatencyPanels) {
+  const JsonValue report = parse_or_die(report_json_v4());
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_NE(html.find("<h2>Scheduler</h2>"), std::string::npos);
+  EXPECT_NE(html.find("utilization"), std::string::npos);
+  EXPECT_NE(html.find("jobs.run_ms"), std::string::npos);
+  EXPECT_NE(html.find("<h2>Request latency</h2>"), std::string::npos);
+  EXPECT_NE(html.find("serve.request_total_cold_ms"), std::string::npos);
+  EXPECT_NE(html.find("serve.request_total_warm_ms"), std::string::npos);
+  // The cold p99 was clamped to the last bucket: marked "+".
+  EXPECT_NE(html.find("<td>1000+</td>"), std::string::npos);
+}
+
+TEST(RenderHtmlDashboard, PreV4ReportDegradesSchedulerPanels) {
+  const JsonValue report = parse_or_die(report_json_v3(1e8, 100.0));
+  const std::string html = render_html_dashboard(report, "");
+  EXPECT_NE(html.find("no scheduler data (pre-v4 report)"), std::string::npos);
+  EXPECT_NE(html.find("no request latency data in this run"),
+            std::string::npos);
 }
 
 }  // namespace

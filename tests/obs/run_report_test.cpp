@@ -143,6 +143,13 @@ RunReportData golden_data() {
   data.memory.footprints = {{"fault_list", 500000}, {"netlist", 2000000}};
   data.memory.bytes_per_gate = 123.456;
   data.memory.bytes_per_fault = 41.5;
+  data.jobs.workers = 4;
+  data.jobs.submitted = 100;
+  data.jobs.executed = 100;
+  data.jobs.steals = 7;
+  data.jobs.busy_ms = 120.0;
+  data.jobs.idle_ms = 280.0;
+  data.jobs.utilization = 0.3;
   return data;
 }
 
@@ -153,8 +160,11 @@ RunReportData golden_data() {
 // bucket; p90: rank 2.7 falls 7/10 into the [1, 10] bucket).
 // v3 added the per-phase rss_delta_bytes/alloc_bytes/alloc_count fields and
 // the trailing "memory" section (resource telemetry).
+// v4 added the "jobs" scheduler-utilization section and the histogram
+// p99/p99_clamped summary values (p99 of the golden histogram: rank 2.97
+// falls 97/100 into the [1, 10] bucket -> 9.73, not clamped).
 constexpr const char* kGoldenReport = R"({
-  "schema_version": 3,
+  "schema_version": 4,
   "tool": "golden_tool",
   "git_sha": "abc1234",
   "timestamp_utc": "2026-01-01T00:00:00Z",
@@ -175,7 +185,7 @@ constexpr const char* kGoldenReport = R"({
     "flow.fault_coverage_percent": 91.25
   },
   "histograms": {
-    "fault.grade_duration_ms": {"count": 3, "sum": 5.5, "mean": 1.83333, "p50": 0.75, "p90": 7.3, "buckets": [{"le": 1, "count": 2}, {"le": 10, "count": 1}, {"le": "inf", "count": 0}]}
+    "fault.grade_duration_ms": {"count": 3, "sum": 5.5, "mean": 1.83333, "p50": 0.75, "p90": 7.3, "p99": 9.73, "p99_clamped": false, "buckets": [{"le": 1, "count": 2}, {"le": 10, "count": 1}, {"le": "inf", "count": 0}]}
   },
   "analytics": {
     "convergence": [{"tests": 64, "detected": 300}, {"tests": 128, "detected": 321}],
@@ -184,6 +194,7 @@ constexpr const char* kGoldenReport = R"({
     ],
     "speculation": {"batches": 1, "lanes_evaluated": 64, "hits": 3, "wasted": 10}
   },
+  "jobs": {"workers": 4, "submitted": 100, "executed": 100, "steals": 7, "busy_ms": 120.000, "idle_ms": 280.000, "utilization": 0.3},
   "memory": {
     "peak_rss_bytes": 50331648,
     "current_rss_bytes": 33554432,
@@ -210,7 +221,7 @@ TEST(RunReport, GoldenIsWellFormedJsonWithStableKeyOrder) {
   EXPECT_EQ(keys, (std::vector<std::string>{
                       "schema_version", "tool", "git_sha", "timestamp_utc",
                       "config", "phases", "counters", "gauges", "histograms",
-                      "analytics", "memory"}));
+                      "analytics", "jobs", "memory"}));
 }
 
 TEST(RunReport, EmptyReportIsStillValidJson) {
@@ -219,7 +230,7 @@ TEST(RunReport, EmptyReportIsStillValidJson) {
   std::vector<std::string> keys;
   MiniJsonParser parser(render_run_report(data));
   ASSERT_TRUE(parser.parse(&keys));
-  EXPECT_EQ(keys.size(), 11u);
+  EXPECT_EQ(keys.size(), 12u);
 }
 
 TEST(RunReport, EmptyHistogramRendersZeroSummariesNotNan) {
@@ -228,7 +239,8 @@ TEST(RunReport, EmptyHistogramRendersZeroSummariesNotNan) {
   data.metrics.histograms = {{"flow.idle", {1.0, 10.0}, {0, 0, 0}, 0, 0.0}};
   const std::string body = render_run_report(data);
   EXPECT_EQ(body.find("nan"), std::string::npos);
-  EXPECT_NE(body.find("\"mean\": 0, \"p50\": 0, \"p90\": 0"),
+  EXPECT_NE(body.find("\"mean\": 0, \"p50\": 0, \"p90\": 0, \"p99\": 0, "
+                      "\"p99_clamped\": false"),
             std::string::npos);
   MiniJsonParser parser(body);
   ASSERT_TRUE(parser.parse(nullptr));

@@ -57,6 +57,49 @@ TEST(ExperimentService, PingPongAndStats) {
   EXPECT_NE(lines[0].find("\"type\": \"stats\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"cache_hits\": 0"), std::string::npos);
   EXPECT_NE(lines[0].find("\"cache_misses\": 0"), std::string::npos);
+  // The enriched stats response: per-segment latency summaries (cold/warm
+  // keyed separately) and the scheduler snapshot of the shared pool.
+  EXPECT_NE(lines[0].find("\"latency\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"cold\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"warm\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"queue\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"compute\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"render\": {"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"p99_clamped\": "), std::string::npos);
+  EXPECT_NE(lines[0].find("\"scheduler\": {\"workers\": 4"),
+            std::string::npos);
+}
+
+TEST(ExperimentService, FreezeStatsPinsThePublishedSnapshot) {
+  // The SIGTERM drain fix: the shutdown path freezes the stats BEFORE the
+  // graceful drain, so requests completing during the drain cannot make the
+  // final stats responses disagree with the run report. First freeze wins.
+  Fixture fx;
+  const ExperimentRequest request = small_request();
+  bool hit = false;
+  fx.service.run_experiment(request, &hit);
+  fx.service.freeze_stats();
+  const ServiceStats frozen = fx.service.stats_snapshot();
+  EXPECT_EQ(frozen.requests_total, 1u);
+
+  // A request that completes after the freeze (the in-flight drain): the
+  // live counter moves, the published snapshot does not.
+  fx.service.run_experiment(request, &hit);
+  EXPECT_EQ(fx.service.requests_total(), 2u);
+  EXPECT_EQ(fx.service.collect_stats().requests_total, 2u);
+  EXPECT_EQ(fx.service.stats_snapshot().requests_total, 1u);
+
+  // Later freezes are no-ops.
+  fx.service.freeze_stats();
+  EXPECT_EQ(fx.service.stats_snapshot().requests_total, 1u);
+
+  // The protocol line rendered from the frozen snapshot agrees.
+  std::vector<std::string> lines;
+  const auto emit = [&lines](const std::string& l) { lines.push_back(l); };
+  EXPECT_TRUE(fx.service.handle_line(
+      "{\"type\": \"stats\", \"id\": \"s2\"}", emit));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"requests_total\": 1"), std::string::npos);
 }
 
 TEST(ExperimentService, MalformedRequestEmitsError) {

@@ -8,7 +8,7 @@
 //              [--max-coverage-drop <pts>] [--max-tests-increase <pct>]
 //              [--max-walltime-increase <pct>] [--max-peak-rss-increase <pct>]
 //              [--max-bytes-per-gate-increase <pct>] [--min-warm-speedup <x>]
-//              [--min-pack-speedup <x>]
+//              [--min-pack-speedup <x>] [--max-obs-overhead-pct <pct>]
 //       Compares two run reports and exits nonzero when the current report
 //       regresses past a threshold. Negative threshold disables the check;
 //       walltime and memory gating are off unless requested (walltime and
@@ -112,6 +112,8 @@ int cmd_diff(const fbt::Cli& cli) {
       cli.get_double("min-warm-speedup", thresholds.min_warm_speedup);
   thresholds.min_pack_speedup =
       cli.get_double("min-pack-speedup", thresholds.min_pack_speedup);
+  thresholds.max_obs_overhead_pct =
+      cli.get_double("max-obs-overhead-pct", thresholds.max_obs_overhead_pct);
 
   const fbt::obs::DiffResult result =
       fbt::obs::diff_run_reports(baseline, current, thresholds);
